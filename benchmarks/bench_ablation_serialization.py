@@ -1,0 +1,48 @@
+"""Ablation: Arrow-like binary serialisation vs JSON transfer.
+
+Section 4: "To further reduce network transfer costs, VegaPlus encodes
+query results using the binary Apache Arrow format."  This ablation runs
+the same all-client plan (which transfers the raw table) under both codecs.
+
+Expected: the JSON codec produces a larger payload and a slower transfer.
+"""
+
+from repro.core.enumerator import PlanEnumerator
+from repro.core.system import VegaPlusSystem
+from repro.net.serialize import ArrowCodec, JsonCodec
+
+SIZE = 20_000
+
+
+def _initial_render_seconds(configuration, harness, codec) -> float:
+    system = VegaPlusSystem(
+        configuration.spec,
+        configuration.database,
+        network=harness.network,
+        codec=codec,
+        enable_cache=False,
+    )
+    system.use_plan(PlanEnumerator(configuration.spec).all_client_plan())
+    return system.initialize().total_seconds
+
+
+def test_arrow_vs_json_serialization(benchmark, harness):
+    configuration = harness.configure(
+        "interactive_histogram", "flights", SIZE, interactions_per_session=0
+    )
+
+    arrow_seconds = benchmark.pedantic(
+        _initial_render_seconds,
+        args=(configuration, harness, ArrowCodec()),
+        rounds=1,
+        iterations=1,
+    )
+    json_seconds = _initial_render_seconds(configuration, harness, JsonCodec())
+
+    arrow_bytes = ArrowCodec().estimate(configuration.database.table("flights").to_rows()).payload_bytes
+    json_bytes = JsonCodec().estimate(configuration.database.table("flights").to_rows()).payload_bytes
+
+    print(f"\nArrow codec: {arrow_seconds * 1000:8.1f} ms, payload {arrow_bytes:>12,} bytes")
+    print(f"JSON codec:  {json_seconds * 1000:8.1f} ms, payload {json_bytes:>12,} bytes")
+    assert json_bytes > arrow_bytes
+    assert json_seconds > arrow_seconds

@@ -1,0 +1,41 @@
+"""Figure 6: distribution of candidate-plan execution times per template.
+
+Expected shape (paper): templates with larger plan spaces show a wide
+spread of initial-render latencies; latencies grow with data size; there
+are many more slow plans than fast plans.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import figure6
+
+
+def test_figure6_plan_execution_time_distribution(
+    benchmark, harness, measurement_set, bench_sizes, bench_templates
+):
+    result = benchmark.pedantic(
+        figure6,
+        kwargs={
+            "sizes": bench_sizes,
+            "templates": bench_templates,
+            "measurement_set": measurement_set,
+            "harness": harness,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + str(result))
+
+    by_template = result.by_template()
+    assert set(by_template) == set(bench_templates)
+    # Latency spread: the slowest candidate is much slower than the fastest.
+    for template, points in by_template.items():
+        largest = max(size for size, _ in points)
+        seconds = [s for size, s in points if size == largest]
+        assert max(seconds) > min(seconds), template
+    # Latencies grow with data size (median over all templates).
+    medians = {
+        size: np.median([s for _, sz, _, s in result.points if sz == size])
+        for size in bench_sizes
+    }
+    assert medians[bench_sizes[-1]] > medians[bench_sizes[0]]

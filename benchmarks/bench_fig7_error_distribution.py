@@ -1,0 +1,41 @@
+"""Figure 7: distribution of scaled errors for each model's mispredictions.
+
+Expected shape (paper): the random model makes many mistakes across the
+whole error range including very costly ones; the informed models make
+most of their mistakes on pairs whose execution times are close (scaled
+error near 0).
+"""
+
+import numpy as np
+
+from repro.bench.experiments import figure7
+
+
+def test_figure7_scaled_error_distribution(
+    benchmark, harness, measurement_set, bench_sizes, bench_templates
+):
+    result = benchmark.pedantic(
+        figure7,
+        kwargs={
+            "size": bench_sizes[-1],
+            "templates": bench_templates,
+            "measurement_set": measurement_set,
+            "harness": harness,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + str(result))
+
+    assert set(result.histograms) == {"RankSVM", "Random Forest", "heuristic", "random"}
+    random_errors = int(np.sum(result.histograms["random"]))
+    forest_errors = int(np.sum(result.histograms["Random Forest"]))
+    # The random model mispredicts far more pairs than the learned model.
+    assert random_errors > forest_errors
+    # Informed models' mistakes concentrate in the low-error bins.
+    for model in ("RankSVM", "Random Forest"):
+        counts = result.histograms[model]
+        if sum(counts):
+            low = sum(counts[:5])
+            high = sum(counts[5:])
+            assert low >= high

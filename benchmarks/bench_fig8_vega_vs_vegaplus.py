@@ -1,0 +1,31 @@
+"""Figure 8: average per-session latency, Vega vs VegaPlus (RankSVM).
+
+Expected shape (paper): VegaPlus beats Vega on total session time for the
+interactive templates, driven mostly by a much cheaper initial rendering;
+interaction-only time can be slightly higher for VegaPlus on small data.
+"""
+
+from repro.bench.experiments import figure8
+
+#: Interactive templates compared (a subset keeps the benchmark quick; the
+#: runner accepts all interactive templates).
+TEMPLATES = ("interactive_histogram", "heatmap_bar", "overview_detail")
+
+
+def test_figure8_session_latency_vega_vs_vegaplus(benchmark, harness):
+    result = benchmark.pedantic(
+        figure8,
+        kwargs={
+            "size": 10_000,
+            "templates": TEMPLATES,
+            "interactions_per_session": 5,
+            "harness": harness,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + str(result))
+    for template in TEMPLATES:
+        speedup = result.speedup(template)
+        print(f"  speedup({template}) = {speedup:.2f}x")
+        assert speedup > 1.0, f"VegaPlus should beat Vega on {template}"

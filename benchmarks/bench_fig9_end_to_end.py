@@ -1,0 +1,49 @@
+"""Figure 9: initial rendering and interactive updates vs data size.
+
+Compares Vega, a VegaFusion-like server-always baseline, and VegaPlus on
+the cross-filtering dashboard while the data grows; Vega is dropped at the
+largest size, mirroring the paper (it cannot handle 10 M rows).
+
+Expected shape: Vega's initial render deteriorates fastest with size;
+VegaFusion and VegaPlus stay close, with VegaPlus at least as good because
+it may keep cheap interaction-only work on the client.
+"""
+
+from repro.bench.experiments import figure9
+
+SIZES = (2_000, 10_000)
+LARGE_SIZES = (30_000,)
+
+
+def test_figure9_scaling_vega_vegafusion_vegaplus(benchmark, harness):
+    result = benchmark.pedantic(
+        figure9,
+        kwargs={
+            "sizes": SIZES,
+            "large_sizes": LARGE_SIZES,
+            "template_name": "crossfilter",
+            "interactions_per_session": 4,
+            "harness": harness,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + str(result))
+
+    vega_init = dict(result.series("Vega", "initial_seconds"))
+    plus_init = dict(result.series("VegaPlus", "initial_seconds"))
+    fusion_init = dict(result.series("VegaFusion", "initial_seconds"))
+
+    # Vega only measured at the small/medium sizes.
+    assert set(vega_init) == set(SIZES)
+    assert set(plus_init) == set(SIZES) | set(LARGE_SIZES)
+
+    # At the largest common size, offloading systems render faster than Vega.
+    largest_common = SIZES[-1]
+    assert plus_init[largest_common] < vega_init[largest_common]
+    assert fusion_init[largest_common] < vega_init[largest_common]
+
+    # Vega's initial render degrades faster with data size than VegaPlus'.
+    vega_growth = vega_init[SIZES[-1]] / vega_init[SIZES[0]]
+    plus_growth = plus_init[SIZES[-1]] / plus_init[SIZES[0]]
+    assert vega_growth > plus_growth

@@ -1,0 +1,31 @@
+"""Table 1: template characteristics and plan-enumeration space.
+
+Reproduces the per-template operator counts, number of enumerated plans
+and number of generated training pairs, and benchmarks the enumeration
+itself (the paper reports it takes under a second even for the largest
+template).
+"""
+
+from repro.bench.experiments import table1
+from repro.bench.templates import get_template
+from repro.bench.workload import WorkloadGenerator
+from repro.core.enumerator import PlanEnumerator
+from repro.vega.spec import parse_spec_dict
+
+
+def test_table1_enumeration_space(benchmark):
+    """Enumerate all templates and print the Table 1 reproduction."""
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print("\n" + str(result))
+    by_name = {r.template: r for r in result.rows_by_template}
+    assert len(result.rows_by_template) == 7
+    assert by_name["crossfilter"].n_plans == max(r.n_plans for r in result.rows_by_template)
+
+
+def test_crossfilter_enumeration_under_a_second(benchmark):
+    """Enumerating the largest plan space stays fast (paper: < 1 s)."""
+    instance = WorkloadGenerator(seed=0).instantiate(get_template("crossfilter"), "flights")
+    spec = parse_spec_dict(instance.spec)
+
+    plans = benchmark(lambda: PlanEnumerator(spec).enumerate())
+    assert len(plans) > 100

@@ -1,0 +1,27 @@
+"""Table 3: initial-render latency of each model's selected plan vs optimal.
+
+Expected shape (paper): the learned models and the heuristic land on plans
+close to the optimum; the random model picks plans that are orders of
+magnitude slower as the data grows.
+"""
+
+from repro.bench.experiments import table3
+
+
+def test_table3_selected_plan_latency(benchmark, harness, measurement_set, bench_sizes):
+    result = benchmark.pedantic(
+        table3,
+        kwargs={"sizes": bench_sizes, "measurement_set": measurement_set, "harness": harness},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + str(result))
+    largest = bench_sizes[-1]
+    optimal = result.seconds["optimal"][largest]
+    for model in ("RankSVM", "Random Forest", "heuristic"):
+        assert result.seconds[model][largest] >= optimal - 1e-9
+        # Learned/heuristic picks stay within a small factor of optimal.
+        assert result.seconds[model][largest] <= optimal * 20
+    # The random model is markedly worse than the informed models.
+    best_informed = min(result.seconds[m][largest] for m in ("RankSVM", "Random Forest", "heuristic"))
+    assert result.seconds["random"][largest] >= best_informed

@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks reproduce every table and figure of the paper's evaluation
+at laptop scale.  Expensive measurement collection (executing every
+candidate plan of every template at every size) happens once per session
+and is shared by the table/figure benchmarks that need it.
+
+Sizes are scaled down from the paper's 50 k – 10 M rows so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes; pass larger
+sizes through the experiment runners in :mod:`repro.bench.experiments` to
+approach the paper's scale when more time is available.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import collect_measurements
+from repro.bench.harness import BenchmarkHarness
+
+#: Data sizes used by the model-quality experiments (Tables 2-4, Figures 6-7).
+BENCH_SIZES: tuple[int, ...] = (2_000, 5_000, 10_000)
+
+#: Templates used for comparator training/evaluation.
+BENCH_TEMPLATES: tuple[str, ...] = (
+    "interactive_histogram",
+    "heatmap_bar",
+    "overview_detail",
+)
+
+
+@pytest.fixture(scope="session")
+def bench_sizes() -> tuple[int, ...]:
+    """Data sizes shared by the model-quality benchmarks."""
+    return BENCH_SIZES
+
+
+@pytest.fixture(scope="session")
+def bench_templates() -> tuple[str, ...]:
+    """Templates shared by the model-quality benchmarks."""
+    return BENCH_TEMPLATES
+
+
+@pytest.fixture(scope="session")
+def harness() -> BenchmarkHarness:
+    """One harness (and one set of generated databases) for all benchmarks."""
+    return BenchmarkHarness(seed=0)
+
+
+@pytest.fixture(scope="session")
+def measurement_set(harness):
+    """Measurements of every candidate plan per (template, size)."""
+    return collect_measurements(
+        harness,
+        BENCH_TEMPLATES,
+        BENCH_SIZES,
+        interactions_per_session=4,
+        max_plans=16,
+    )

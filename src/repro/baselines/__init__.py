@@ -1,0 +1,14 @@
+"""Baseline systems the paper compares against.
+
+* :class:`~repro.baselines.vega_native.VegaNativeSystem` — plain Vega: the
+  whole dataset is loaded into the browser and every transform executes in
+  the client-side dataflow.
+* :class:`~repro.baselines.vegafusion.VegaFusionSystem` — a VegaFusion-like
+  strategy: every rewritable transform is pushed to the server, with no
+  cost-based plan selection and no interaction awareness.
+"""
+
+from repro.baselines.vega_native import VegaNativeSystem
+from repro.baselines.vegafusion import VegaFusionSystem
+
+__all__ = ["VegaNativeSystem", "VegaFusionSystem"]

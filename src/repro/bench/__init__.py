@@ -1,0 +1,32 @@
+"""The VegaPlus benchmark suite (Section 6 of the paper).
+
+Contents:
+
+* :mod:`repro.bench.templates` — the seven dashboard templates (two static
+  charts, two single-view interactive charts, three interactive
+  dashboards), each parameterisable with any of the synthetic datasets;
+* :mod:`repro.bench.workload` — interaction simulation: populating a
+  template with randomly chosen fields and generating interaction
+  sequences ("sessions") from each template's signal types;
+* :mod:`repro.bench.harness` — executing candidate plans (initial render +
+  interaction sessions) to collect latencies, plan vectors and training
+  pairs;
+* :mod:`repro.bench.experiments` — one runner per table/figure of the
+  paper's evaluation (Tables 1-5, Figures 6-9);
+* :mod:`repro.bench.reporting` — small helpers to format result tables.
+"""
+
+from repro.bench.workload import InteractionWorkload, WorkloadGenerator, TemplateInstance
+from repro.bench.harness import BenchmarkHarness, PlanMeasurement, SessionMeasurement
+from repro.bench.templates import all_templates, get_template
+
+__all__ = [
+    "InteractionWorkload",
+    "WorkloadGenerator",
+    "TemplateInstance",
+    "BenchmarkHarness",
+    "PlanMeasurement",
+    "SessionMeasurement",
+    "all_templates",
+    "get_template",
+]

@@ -1,0 +1,44 @@
+"""Small helpers to format experiment results as text tables."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    columns = [[str(h) for h in headers]] + [[_fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(columns[0]))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in columns[1:]:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, object], title: str | None = None) -> str:
+    """Render a flat mapping as ``key: value`` lines."""
+    lines = [title] if title else []
+    for key, value in mapping.items():
+        lines.append(f"{key}: {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)

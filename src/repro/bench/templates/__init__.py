@@ -1,0 +1,68 @@
+"""The seven benchmark dashboard templates (Section 6.1)."""
+
+from __future__ import annotations
+
+from repro.bench.templates.base import BoundTemplate, DashboardTemplate, FieldRole
+from repro.bench.templates.trellis_bar import TrellisStackedBarTemplate
+from repro.bench.templates.line_chart import LineChartTemplate
+from repro.bench.templates.histogram import InteractiveHistogramTemplate
+from repro.bench.templates.heatmap import ZoomableHeatmapTemplate
+from repro.bench.templates.crossfilter import CrossfilterTemplate
+from repro.bench.templates.heatmap_bar import HeatmapBarTemplate
+from repro.bench.templates.overview_detail import OverviewDetailTemplate
+
+from repro.errors import BenchmarkError
+
+#: All templates keyed by name, in the paper's presentation order.
+_TEMPLATES: dict[str, type[DashboardTemplate]] = {
+    TrellisStackedBarTemplate.name: TrellisStackedBarTemplate,
+    LineChartTemplate.name: LineChartTemplate,
+    InteractiveHistogramTemplate.name: InteractiveHistogramTemplate,
+    ZoomableHeatmapTemplate.name: ZoomableHeatmapTemplate,
+    CrossfilterTemplate.name: CrossfilterTemplate,
+    HeatmapBarTemplate.name: HeatmapBarTemplate,
+    OverviewDetailTemplate.name: OverviewDetailTemplate,
+}
+
+
+def all_templates() -> list[DashboardTemplate]:
+    """Instances of all seven templates in presentation order."""
+    return [cls() for cls in _TEMPLATES.values()]
+
+
+def template_names() -> list[str]:
+    """Names of all templates."""
+    return list(_TEMPLATES)
+
+
+def get_template(name: str) -> DashboardTemplate:
+    """Instantiate a template by name."""
+    try:
+        return _TEMPLATES[name]()
+    except KeyError as exc:
+        raise BenchmarkError(
+            f"unknown template {name!r}; available: {template_names()}"
+        ) from exc
+
+
+def interactive_histogram() -> InteractiveHistogramTemplate:
+    """Convenience accessor used by the quickstart example."""
+    return InteractiveHistogramTemplate()
+
+
+__all__ = [
+    "DashboardTemplate",
+    "BoundTemplate",
+    "FieldRole",
+    "TrellisStackedBarTemplate",
+    "LineChartTemplate",
+    "InteractiveHistogramTemplate",
+    "ZoomableHeatmapTemplate",
+    "CrossfilterTemplate",
+    "HeatmapBarTemplate",
+    "OverviewDetailTemplate",
+    "all_templates",
+    "template_names",
+    "get_template",
+    "interactive_histogram",
+]

@@ -1,0 +1,147 @@
+"""Base classes for benchmark dashboard templates.
+
+A template is independent of any particular dataset (Section 6.1): it
+declares which *roles* it needs (e.g. one quantitative field for a
+histogram, two categorical fields for a heatmap) and builds a concrete
+Vega specification once roles are bound to fields of a dataset schema.
+Templates also know how to sample plausible interactions for their signals
+(Section 6.2), using schema statistics to pick slider ranges, brush
+extents and drop-down options.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.schema import DatasetSchema, FieldType
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class FieldRole:
+    """One field the template needs, identified by role name and type."""
+
+    role: str
+    ftype: FieldType
+
+
+@dataclass
+class BoundTemplate:
+    """A template bound to a dataset and concrete fields."""
+
+    template_name: str
+    dataset: str
+    fields: dict[str, str]
+    spec: dict
+    interactive: bool
+
+
+class DashboardTemplate:
+    """Base class for the seven benchmark templates."""
+
+    #: Template name (matches the paper's naming).
+    name = "abstract"
+    #: Whether the template declares interaction signals.
+    interactive = False
+
+    def required_roles(self) -> list[FieldRole]:
+        """The field roles this template must be bound to."""
+        raise NotImplementedError
+
+    def build_spec(self, dataset: str, fields: Mapping[str, str]) -> dict:
+        """Build the raw Vega specification for a role → field binding."""
+        raise NotImplementedError
+
+    def sample_interaction(
+        self,
+        rng: np.random.Generator,
+        schema: DatasetSchema,
+        fields: Mapping[str, str],
+    ) -> dict[str, object]:
+        """Sample one interaction (signal updates) for this template."""
+        return {}
+
+    def initial_signals(
+        self, schema: DatasetSchema, fields: Mapping[str, str]
+    ) -> dict[str, object]:
+        """Initial values for signals that depend on the bound dataset.
+
+        Interactive templates whose signals encode viewports or brushes
+        override this so the initial rendering covers the full data.
+        """
+        return {}
+
+    # ------------------------------------------------------------------ #
+    def bind(
+        self,
+        dataset: str,
+        schema: DatasetSchema,
+        rng: np.random.Generator | None = None,
+        fields: Mapping[str, str] | None = None,
+    ) -> BoundTemplate:
+        """Bind the template to a dataset, choosing fields when not given.
+
+        Mirrors the population step of Figure 4: for each required role a
+        field of the matching type is drawn from the schema (without
+        replacement where possible).
+        """
+        rng = rng or np.random.default_rng(0)
+        chosen: dict[str, str] = dict(fields or {})
+        used: set[str] = set(chosen.values())
+        for role in self.required_roles():
+            if role.role in chosen:
+                continue
+            candidates = [
+                f.name for f in schema.fields_of_type(role.ftype) if f.name not in used
+            ]
+            if not candidates:
+                candidates = [f.name for f in schema.fields_of_type(role.ftype)]
+            if not candidates:
+                raise BenchmarkError(
+                    f"dataset {schema.name!r} has no field of type {role.ftype} "
+                    f"for role {role.role!r} in template {self.name!r}"
+                )
+            pick = candidates[int(rng.integers(0, len(candidates)))]
+            chosen[role.role] = pick
+            used.add(pick)
+        # Expose the schema to build_spec so templates can inline data-driven
+        # constants (e.g. static bin extents) into the generated spec.
+        self._bound_schema = schema
+        spec = self.build_spec(dataset, chosen)
+        initial = self.initial_signals(schema, chosen)
+        if initial:
+            for signal in spec.get("signals", []):
+                if signal.get("name") in initial:
+                    signal["value"] = initial[signal["name"]]
+        return BoundTemplate(
+            template_name=self.name,
+            dataset=dataset,
+            fields=chosen,
+            spec=spec,
+            interactive=self.interactive,
+        )
+
+    # -- shared sampling helpers ---------------------------------------- #
+    @staticmethod
+    def _field_range(schema: DatasetSchema, field_name: str) -> tuple[float, float]:
+        spec = schema.field(field_name)
+        return float(spec.minimum), float(spec.maximum)
+
+    @staticmethod
+    def _field_categories(schema: DatasetSchema, field_name: str) -> tuple[str, ...]:
+        return schema.field(field_name).categories
+
+    @staticmethod
+    def _sample_subrange(
+        rng: np.random.Generator, low: float, high: float, min_fraction: float = 0.05
+    ) -> tuple[float, float]:
+        """Random sub-range of [low, high], at least ``min_fraction`` wide."""
+        span = high - low
+        if span <= 0:
+            return low, high
+        width = span * float(rng.uniform(min_fraction, 0.6))
+        start = low + float(rng.uniform(0.0, span - width))
+        return start, start + width

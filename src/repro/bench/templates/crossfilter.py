@@ -1,0 +1,155 @@
+"""Crossfiltering With Three 2-D Histograms template.
+
+Three histogram views linked by brush interactions: each view shows the
+full-data distribution in grey plus the distribution of the rows selected
+by the brushes of the *other* views.  Brushing any view re-filters and
+re-aggregates all linked views.  This is the template with the largest
+plan enumeration space in the paper's benchmark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.bench.templates.base import DashboardTemplate, FieldRole
+from repro.datasets.schema import DatasetSchema, FieldType
+
+#: Number of bins used by each of the three histograms.
+_BINS = 25
+
+
+class CrossfilterTemplate(DashboardTemplate):
+    """Three linked histograms with cross-filtering brushes."""
+
+    name = "crossfilter"
+    interactive = True
+
+    def required_roles(self) -> list[FieldRole]:
+        return [
+            FieldRole("field_a", FieldType.QUANTITATIVE),
+            FieldRole("field_b", FieldType.QUANTITATIVE),
+            FieldRole("field_c", FieldType.QUANTITATIVE),
+        ]
+
+    def build_spec(self, dataset: str, fields: Mapping[str, str]) -> dict:
+        names = ["a", "b", "c"]
+        field_of = {name: fields[f"field_{name}"] for name in names}
+        schema: DatasetSchema | None = getattr(self, "_bound_schema", None)
+
+        def extent_of(column: str) -> list[float]:
+            if schema is None:
+                return [0.0, 1.0]
+            low, high = self._field_range(schema, column)
+            return [low, high]
+
+        signals: list[dict] = []
+        for name in names:
+            signals.append({"name": f"brush_{name}_lo", "value": None})
+            signals.append({"name": f"brush_{name}_hi", "value": None})
+
+        data: list[dict] = [{"name": "source", "table": dataset}]
+        scales: list[dict] = []
+        marks: list[dict] = []
+
+        # Grey background histograms over the full data (computed once).
+        for name in names:
+            column = field_of[name]
+            data.append(
+                {
+                    "name": f"background_{name}",
+                    "source": "source",
+                    "transform": [
+                        {
+                            "type": "bin",
+                            "field": column,
+                            "maxbins": _BINS,
+                            "extent": extent_of(column),
+                            "as": ["bin0", "bin1"],
+                        },
+                        {
+                            "type": "aggregate",
+                            "groupby": ["bin0"],
+                            "ops": ["count"],
+                            "as": ["count"],
+                        },
+                    ],
+                }
+            )
+            marks.append({"type": "rect", "from": {"data": f"background_{name}"}})
+            scales.append(
+                {"name": f"x_{name}", "domain": {"data": f"background_{name}", "field": "bin0"}}
+            )
+
+        # Shared filtered subset: every view's brush contributes a predicate.
+        predicates = []
+        for name in names:
+            column = field_of[name]
+            predicates.append(
+                f"(datum.{column} >= brush_{name}_lo && datum.{column} <= brush_{name}_hi)"
+            )
+        data.append(
+            {
+                "name": "filtered",
+                "source": "source",
+                "transform": [{"type": "filter", "expr": " && ".join(predicates)}],
+            }
+        )
+
+        # Foreground histograms over the filtered subset.
+        for name in names:
+            column = field_of[name]
+            data.append(
+                {
+                    "name": f"hist_{name}",
+                    "source": "filtered",
+                    "transform": [
+                        {
+                            "type": "bin",
+                            "field": column,
+                            "maxbins": _BINS,
+                            "extent": extent_of(column),
+                            "as": ["bin0", "bin1"],
+                        },
+                        {
+                            "type": "aggregate",
+                            "groupby": ["bin0"],
+                            "ops": ["count"],
+                            "as": ["count"],
+                        },
+                    ],
+                }
+            )
+            marks.append({"type": "rect", "from": {"data": f"hist_{name}"}})
+
+        return {
+            "description": "Crossfiltering with three 2-D histograms",
+            "signals": signals,
+            "data": data,
+            "scales": scales,
+            "marks": marks,
+        }
+
+    def initial_signals(
+        self, schema: DatasetSchema, fields: Mapping[str, str]
+    ) -> dict[str, object]:
+        """Initial brushes select the full range of every field."""
+        updates: dict[str, object] = {}
+        for name in ("a", "b", "c"):
+            low, high = self._field_range(schema, fields[f"field_{name}"])
+            updates[f"brush_{name}_lo"] = low
+            updates[f"brush_{name}_hi"] = high
+        return updates
+
+    def sample_interaction(
+        self,
+        rng: np.random.Generator,
+        schema: DatasetSchema,
+        fields: Mapping[str, str],
+    ) -> dict[str, object]:
+        """Brush one of the three views to a random sub-range."""
+        name = ("a", "b", "c")[int(rng.integers(0, 3))]
+        low, high = self._field_range(schema, fields[f"field_{name}"])
+        brush = self._sample_subrange(rng, low, high, min_fraction=0.05)
+        return {f"brush_{name}_lo": brush[0], f"brush_{name}_hi": brush[1]}

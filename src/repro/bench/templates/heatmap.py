@@ -1,0 +1,123 @@
+"""Zoomable Heatmap template.
+
+2-D binning and aggregation over two quantitative fields.  Panning and
+zooming update the visible x/y domains, which re-filters the data and
+recomputes the density (bins × bins counts).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.bench.templates.base import DashboardTemplate, FieldRole
+from repro.datasets.schema import DatasetSchema, FieldType
+
+
+class ZoomableHeatmapTemplate(DashboardTemplate):
+    """Density heatmap with pan/zoom interactions."""
+
+    name = "zoomable_heatmap"
+    interactive = True
+
+    #: Number of bins along each axis.
+    bins_per_axis = 20
+
+    def required_roles(self) -> list[FieldRole]:
+        return [
+            FieldRole("x", FieldType.QUANTITATIVE),
+            FieldRole("y", FieldType.QUANTITATIVE),
+        ]
+
+    def build_spec(self, dataset: str, fields: Mapping[str, str]) -> dict:
+        x = fields["x"]
+        y = fields["y"]
+        return {
+            "description": "Zoomable heatmap (2-D binning + aggregation)",
+            "signals": [
+                {"name": "x_lo", "value": None},
+                {"name": "x_hi", "value": None},
+                {"name": "y_lo", "value": None},
+                {"name": "y_hi", "value": None},
+                {"name": "domain_x", "value": None},
+                {"name": "domain_y", "value": None},
+            ],
+            "data": [
+                {"name": "source", "table": dataset},
+                {
+                    "name": "density",
+                    "source": "source",
+                    "transform": [
+                        {
+                            "type": "filter",
+                            "expr": (
+                                f"datum.{x} >= x_lo && datum.{x} <= x_hi && "
+                                f"datum.{y} >= y_lo && datum.{y} <= y_hi"
+                            ),
+                        },
+                        {
+                            "type": "bin",
+                            "field": x,
+                            "maxbins": self.bins_per_axis,
+                            "extent": {"signal": "domain_x"},
+                            "as": ["bx0", "bx1"],
+                        },
+                        {
+                            "type": "bin",
+                            "field": y,
+                            "maxbins": self.bins_per_axis,
+                            "extent": {"signal": "domain_y"},
+                            "as": ["by0", "by1"],
+                        },
+                        {
+                            "type": "aggregate",
+                            "groupby": ["bx0", "by0"],
+                            "ops": ["count"],
+                            "as": ["count"],
+                        },
+                    ],
+                },
+            ],
+            "scales": [
+                {"name": "x", "domain": {"data": "density", "field": "bx0"}},
+                {"name": "y", "domain": {"data": "density", "field": "by0"}},
+                {"name": "color", "domain": {"data": "density", "field": "count"}},
+            ],
+            "marks": [{"type": "rect", "from": {"data": "density"}}],
+        }
+
+    def initial_signals(
+        self, schema: DatasetSchema, fields: Mapping[str, str]
+    ) -> dict[str, object]:
+        """Initial viewport: the full extent of both axes."""
+        x_lo, x_hi = self._field_range(schema, fields["x"])
+        y_lo, y_hi = self._field_range(schema, fields["y"])
+        return {
+            "x_lo": x_lo,
+            "x_hi": x_hi,
+            "y_lo": y_lo,
+            "y_hi": y_hi,
+            "domain_x": [x_lo, x_hi],
+            "domain_y": [y_lo, y_hi],
+        }
+
+    def sample_interaction(
+        self,
+        rng: np.random.Generator,
+        schema: DatasetSchema,
+        fields: Mapping[str, str],
+    ) -> dict[str, object]:
+        """A pan or zoom step: a new visible sub-range on both axes."""
+        x_lo, x_hi = self._field_range(schema, fields["x"])
+        y_lo, y_hi = self._field_range(schema, fields["y"])
+        new_x = self._sample_subrange(rng, x_lo, x_hi, min_fraction=0.2)
+        new_y = self._sample_subrange(rng, y_lo, y_hi, min_fraction=0.2)
+        return {
+            "x_lo": new_x[0],
+            "x_hi": new_x[1],
+            "y_lo": new_y[0],
+            "y_hi": new_y[1],
+            "domain_x": [new_x[0], new_x[1]],
+            "domain_y": [new_y[0], new_y[1]],
+        }

@@ -1,0 +1,126 @@
+"""Heatmap and Bar Chart template.
+
+A heatmap counts observations binned along one quantitative field and one
+categorical field; a linked bar chart counts records per category of a
+second categorical field.  Clicking a bar filters the heatmap, and a
+slider adjusts the heatmap's bin granularity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.bench.templates.base import DashboardTemplate, FieldRole
+from repro.datasets.schema import DatasetSchema, FieldType
+
+
+class HeatmapBarTemplate(DashboardTemplate):
+    """Heatmap linked to a bar chart via click selection and a bin slider."""
+
+    name = "heatmap_bar"
+    interactive = True
+
+    maxbins_range = (5, 60)
+
+    def required_roles(self) -> list[FieldRole]:
+        return [
+            FieldRole("x_value", FieldType.QUANTITATIVE),
+            FieldRole("y_category", FieldType.CATEGORICAL),
+            FieldRole("bar_category", FieldType.CATEGORICAL),
+        ]
+
+    def build_spec(self, dataset: str, fields: Mapping[str, str]) -> dict:
+        x = fields["x_value"]
+        y = fields["y_category"]
+        bar = fields["bar_category"]
+        return {
+            "description": "Heatmap linked to a bar chart",
+            "signals": [
+                {
+                    "name": "heat_maxbins",
+                    "value": 20,
+                    "bind": {
+                        "input": "range",
+                        "min": self.maxbins_range[0],
+                        "max": self.maxbins_range[1],
+                    },
+                },
+                {"name": "selected_bar", "value": ""},
+            ],
+            "data": [
+                {"name": "source", "table": dataset},
+                {
+                    "name": "bars",
+                    "source": "source",
+                    "transform": [
+                        {
+                            "type": "aggregate",
+                            "groupby": [bar],
+                            "ops": ["count"],
+                            "as": ["count"],
+                        },
+                        {
+                            "type": "collect",
+                            "sort": {"field": "count", "order": "descending"},
+                        },
+                    ],
+                },
+                {
+                    "name": "heat",
+                    "source": "source",
+                    "transform": [
+                        {
+                            "type": "filter",
+                            "expr": f"selected_bar == '' || datum.{bar} == selected_bar",
+                        },
+                        {
+                            "type": "extent",
+                            "field": x,
+                            "signal": "heat_extent",
+                        },
+                        {
+                            "type": "bin",
+                            "field": x,
+                            "maxbins": {"signal": "heat_maxbins"},
+                            "extent": {"signal": "heat_extent"},
+                            "as": ["bin0", "bin1"],
+                        },
+                        {
+                            "type": "aggregate",
+                            "groupby": ["bin0", y],
+                            "ops": ["count"],
+                            "as": ["count"],
+                        },
+                    ],
+                },
+            ],
+            "scales": [
+                {"name": "bar_x", "domain": {"data": "bars", "field": bar}},
+                {"name": "heat_x", "domain": {"data": "heat", "field": "bin0"}},
+                {"name": "heat_y", "domain": {"data": "heat", "field": y}},
+                {"name": "color", "domain": {"data": "heat", "field": "count"}},
+            ],
+            "marks": [
+                {"type": "rect", "from": {"data": "bars"}},
+                {"type": "rect", "from": {"data": "heat"}},
+            ],
+        }
+
+    def sample_interaction(
+        self,
+        rng: np.random.Generator,
+        schema: DatasetSchema,
+        fields: Mapping[str, str],
+    ) -> dict[str, object]:
+        """Either click a bar (including deselect) or drag the bin slider."""
+        if rng.random() < 0.5:
+            categories = self._field_categories(schema, fields["bar_category"])
+            options = ["", *categories]
+            return {"selected_bar": options[int(rng.integers(0, len(options)))]}
+        return {
+            "heat_maxbins": int(
+                rng.integers(self.maxbins_range[0], self.maxbins_range[1] + 1)
+            )
+        }

@@ -1,0 +1,97 @@
+"""Interactive Histogram template.
+
+Bins a quantitative field and counts observations per bin.  Both the bin
+granularity and the binned field are parameterised: a slider drives the
+``maxbins`` signal and a drop-down menu drives the ``bin_field`` signal
+(Figure 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.bench.templates.base import DashboardTemplate, FieldRole
+from repro.datasets.schema import DatasetSchema, FieldType
+
+
+class InteractiveHistogramTemplate(DashboardTemplate):
+    """Histogram with a maxbins slider and a field drop-down."""
+
+    name = "interactive_histogram"
+    interactive = True
+
+    #: Candidate values offered by the maxbins slider.
+    maxbins_range = (5, 100)
+
+    def required_roles(self) -> list[FieldRole]:
+        return [FieldRole("value", FieldType.QUANTITATIVE)]
+
+    def build_spec(self, dataset: str, fields: Mapping[str, str]) -> dict:
+        value_field = fields["value"]
+        return {
+            "description": "Interactive histogram with dynamic queries",
+            "signals": [
+                {
+                    "name": "maxbins",
+                    "value": 20,
+                    "bind": {
+                        "input": "range",
+                        "min": self.maxbins_range[0],
+                        "max": self.maxbins_range[1],
+                    },
+                },
+                {
+                    "name": "bin_field",
+                    "value": value_field,
+                    "bind": {"input": "select"},
+                },
+            ],
+            "data": [
+                {"name": "source", "table": dataset},
+                {
+                    "name": "binned",
+                    "source": "source",
+                    "transform": [
+                        {
+                            "type": "extent",
+                            "field": {"signal": "bin_field"},
+                            "signal": "value_extent",
+                        },
+                        {
+                            "type": "bin",
+                            "field": {"signal": "bin_field"},
+                            "maxbins": {"signal": "maxbins"},
+                            "extent": {"signal": "value_extent"},
+                            "as": ["bin0", "bin1"],
+                        },
+                        {
+                            "type": "aggregate",
+                            "groupby": ["bin0", "bin1"],
+                            "ops": ["count"],
+                            "as": ["count"],
+                        },
+                    ],
+                },
+            ],
+            "scales": [
+                {"name": "x", "domain": {"data": "binned", "field": "bin0"}},
+                {"name": "y", "domain": {"data": "binned", "field": "count"}},
+            ],
+            "marks": [{"type": "rect", "from": {"data": "binned"}}],
+        }
+
+    def sample_interaction(
+        self,
+        rng: np.random.Generator,
+        schema: DatasetSchema,
+        fields: Mapping[str, str],
+    ) -> dict[str, object]:
+        """Either drag the maxbins slider or pick another field."""
+        if rng.random() < 0.7:
+            return {
+                "maxbins": int(rng.integers(self.maxbins_range[0], self.maxbins_range[1] + 1))
+            }
+        candidates = schema.quantitative_fields()
+        return {"bin_field": candidates[int(rng.integers(0, len(candidates)))]}

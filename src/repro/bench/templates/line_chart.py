@@ -1,0 +1,65 @@
+"""Line / Area Chart template (static).
+
+Applies a ``timeunit`` transform to the temporal x-axis field, then
+aggregates a quantitative measure per time unit.  Switching the mark from
+line to area does not change the data pipeline, so one template covers
+both variants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.bench.templates.base import DashboardTemplate, FieldRole
+from repro.datasets.schema import FieldType
+
+
+class LineChartTemplate(DashboardTemplate):
+    """Time-binned aggregation rendered as a line (or area) chart."""
+
+    name = "line_chart"
+    interactive = False
+
+    #: Calendar unit used to bin the time axis.
+    time_unit = "month"
+
+    def required_roles(self) -> list[FieldRole]:
+        return [
+            FieldRole("time", FieldType.TEMPORAL),
+            FieldRole("measure", FieldType.QUANTITATIVE),
+        ]
+
+    def build_spec(self, dataset: str, fields: Mapping[str, str]) -> dict:
+        time_field = fields["time"]
+        measure = fields["measure"]
+        return {
+            "description": "Line/area chart over time",
+            "signals": [],
+            "data": [
+                {"name": "source", "table": dataset},
+                {
+                    "name": "series",
+                    "source": "source",
+                    "transform": [
+                        {
+                            "type": "timeunit",
+                            "field": time_field,
+                            "units": self.time_unit,
+                            "as": ["unit0", "unit1"],
+                        },
+                        {
+                            "type": "aggregate",
+                            "groupby": ["unit0"],
+                            "ops": ["mean", "count"],
+                            "fields": [measure, None],
+                            "as": [f"mean_{measure}", "count"],
+                        },
+                    ],
+                },
+            ],
+            "scales": [
+                {"name": "x", "domain": {"data": "series", "field": "unit0"}},
+                {"name": "y", "domain": {"data": "series", "field": f"mean_{measure}"}},
+            ],
+            "marks": [{"type": "line", "from": {"data": "series"}}],
+        }

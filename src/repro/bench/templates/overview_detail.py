@@ -1,0 +1,152 @@
+"""Overview + Detail Chart With Bar Chart template.
+
+An overview area chart shows a time-binned series of the full data; an
+interval brush on it controls how data points in the detail view are
+binned; and a bar chart grouped by a categorical field filters both views
+when a bar is clicked.  This is the only benchmark template that uses the
+``timeunit`` transform together with interactions (Section 7.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.bench.templates.base import DashboardTemplate, FieldRole
+from repro.datasets.schema import DatasetSchema, FieldType
+
+
+class OverviewDetailTemplate(DashboardTemplate):
+    """Overview area chart + brushed detail view + categorical bar filter."""
+
+    name = "overview_detail"
+    interactive = True
+
+    time_unit = "month"
+    detail_bins = 30
+
+    def required_roles(self) -> list[FieldRole]:
+        return [
+            FieldRole("time", FieldType.TEMPORAL),
+            FieldRole("value", FieldType.QUANTITATIVE),
+            FieldRole("category", FieldType.CATEGORICAL),
+        ]
+
+    def build_spec(self, dataset: str, fields: Mapping[str, str]) -> dict:
+        time_field = fields["time"]
+        value = fields["value"]
+        category = fields["category"]
+        return {
+            "description": "Overview+detail chart with bar chart",
+            "signals": [
+                {"name": "brush_lo", "value": None},
+                {"name": "brush_hi", "value": None},
+                {"name": "selected_category", "value": ""},
+            ],
+            "data": [
+                {"name": "source", "table": dataset},
+                {
+                    "name": "overview",
+                    "source": "source",
+                    "transform": [
+                        {
+                            "type": "filter",
+                            "expr": (
+                                f"selected_category == '' || "
+                                f"datum.{category} == selected_category"
+                            ),
+                        },
+                        {
+                            "type": "timeunit",
+                            "field": time_field,
+                            "units": self.time_unit,
+                            "as": ["unit0", "unit1"],
+                        },
+                        {
+                            "type": "aggregate",
+                            "groupby": ["unit0"],
+                            "ops": ["count"],
+                            "as": ["count"],
+                        },
+                    ],
+                },
+                {
+                    "name": "detail",
+                    "source": "source",
+                    "transform": [
+                        {
+                            "type": "filter",
+                            "expr": (
+                                f"datum.{time_field} >= brush_lo && "
+                                f"datum.{time_field} <= brush_hi && "
+                                f"(selected_category == '' || datum.{category} == selected_category)"
+                            ),
+                        },
+                        {
+                            "type": "extent",
+                            "field": value,
+                            "signal": "detail_extent",
+                        },
+                        {
+                            "type": "bin",
+                            "field": value,
+                            "maxbins": self.detail_bins,
+                            "extent": {"signal": "detail_extent"},
+                            "as": ["bin0", "bin1"],
+                        },
+                        {
+                            "type": "aggregate",
+                            "groupby": ["bin0", "bin1"],
+                            "ops": ["count", "mean"],
+                            "fields": [None, value],
+                            "as": ["count", f"mean_{value}"],
+                        },
+                    ],
+                },
+                {
+                    "name": "bars",
+                    "source": "source",
+                    "transform": [
+                        {
+                            "type": "aggregate",
+                            "groupby": [category],
+                            "ops": ["count"],
+                            "as": ["count"],
+                        },
+                    ],
+                },
+            ],
+            "scales": [
+                {"name": "overview_x", "domain": {"data": "overview", "field": "unit0"}},
+                {"name": "detail_x", "domain": {"data": "detail", "field": "bin0"}},
+                {"name": "bar_x", "domain": {"data": "bars", "field": category}},
+            ],
+            "marks": [
+                {"type": "area", "from": {"data": "overview"}},
+                {"type": "rect", "from": {"data": "detail"}},
+                {"type": "rect", "from": {"data": "bars"}},
+            ],
+        }
+
+    def initial_signals(
+        self, schema: DatasetSchema, fields: Mapping[str, str]
+    ) -> dict[str, object]:
+        """Initial brush covers the whole time extent, no category selected."""
+        low, high = self._field_range(schema, fields["time"])
+        return {"brush_lo": low, "brush_hi": high, "selected_category": ""}
+
+    def sample_interaction(
+        self,
+        rng: np.random.Generator,
+        schema: DatasetSchema,
+        fields: Mapping[str, str],
+    ) -> dict[str, object]:
+        """Either brush the overview or click a bar in the bar chart."""
+        if rng.random() < 0.6:
+            low, high = self._field_range(schema, fields["time"])
+            brush = self._sample_subrange(rng, low, high, min_fraction=0.05)
+            return {"brush_lo": brush[0], "brush_hi": brush[1]}
+        categories = self._field_categories(schema, fields["category"])
+        options = ["", *categories]
+        return {"selected_category": options[int(rng.integers(0, len(options)))]}

@@ -1,0 +1,68 @@
+"""Trellis Stacked Bar Chart template (static).
+
+A multi-view chart: each view is a stacked bar chart of the cumulative
+count of one categorical field, faceted by a second categorical field.
+Uses the ``aggregate``, ``collect`` and ``stack`` transforms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.bench.templates.base import DashboardTemplate, FieldRole
+from repro.datasets.schema import FieldType
+
+
+class TrellisStackedBarTemplate(DashboardTemplate):
+    """Stacked bars of record counts, faceted by a third categorical field."""
+
+    name = "trellis_stacked_bar"
+    interactive = False
+
+    def required_roles(self) -> list[FieldRole]:
+        return [
+            FieldRole("x_category", FieldType.CATEGORICAL),
+            FieldRole("stack_category", FieldType.CATEGORICAL),
+            FieldRole("facet_category", FieldType.CATEGORICAL),
+        ]
+
+    def build_spec(self, dataset: str, fields: Mapping[str, str]) -> dict:
+        x = fields["x_category"]
+        stack = fields["stack_category"]
+        facet = fields["facet_category"]
+        return {
+            "description": "Trellis stacked bar chart",
+            "signals": [],
+            "data": [
+                {"name": "source", "table": dataset},
+                {
+                    "name": "stacked",
+                    "source": "source",
+                    "transform": [
+                        {
+                            "type": "aggregate",
+                            "groupby": [facet, x, stack],
+                            "ops": ["count"],
+                            "as": ["count"],
+                        },
+                        {
+                            "type": "collect",
+                            "sort": {"field": [facet, x, stack], "order": ["ascending"]},
+                        },
+                        {
+                            "type": "stack",
+                            "field": "count",
+                            "groupby": [facet, x],
+                            "sort": {"field": stack},
+                            "as": ["y0", "y1"],
+                        },
+                    ],
+                },
+            ],
+            "scales": [
+                {"name": "x", "domain": {"data": "stacked", "field": x}},
+                {"name": "y", "domain": {"data": "stacked", "field": "y1"}},
+                {"name": "color", "domain": {"data": "stacked", "field": stack}},
+            ],
+            "marks": [{"type": "rect", "from": {"data": "stacked"}}],
+        }

@@ -1,0 +1,360 @@
+"""Pairwise plan comparators (Section 5.3.2).
+
+Each comparator answers "which of these two plan vectors is faster?" and
+selects a best plan from a candidate set:
+
+* :class:`RankSVMComparator` — the naive learned model based on a linear
+  RankSVM; its weight vector yields a cost function, so best-plan selection
+  is linear in the number of candidates.
+* :class:`RandomForestComparator` — the naive learned model based on a
+  Random Forest over pair difference vectors; best-plan selection runs a
+  round-robin vote over all pairs.
+* :class:`HeuristicComparator` — prioritised rules distilled from the
+  learned models' feature weights; no training required.
+* :class:`RandomComparator` — sanity-check baseline picking randomly.
+
+``train_comparator`` builds the labelled pair dataset
+``(v_i - v_j, y)`` from executed plan vectors and latencies, fits the
+requested model and reports its held-out pairwise accuracy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encoder import PlanVector, normalize_cardinalities
+from repro.errors import ModelError, OptimizationError
+from repro.ml import RandomForestClassifier, RankSVM, accuracy_score, train_test_split
+
+
+# --------------------------------------------------------------------------- #
+# Pair dataset construction
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class PairDataset:
+    """Labelled pairwise training data built from executed plans."""
+
+    differences: np.ndarray
+    labels: np.ndarray
+    #: Per-pair latency gap |t_i - t_j| (used for error analysis, Figure 7).
+    latency_gaps: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def build_pair_dataset(
+    vectors: Sequence[PlanVector],
+    latencies: Sequence[float],
+    normalize: bool = True,
+) -> PairDataset:
+    """Build all ordered pairs ``(i, j), i < j`` with labels.
+
+    Label ``1`` means the first plan of the pair is faster, matching the
+    paper's ``y = 1 iff latency(v_i) < latency(v_j)``.
+    """
+    if len(vectors) != len(latencies):
+        raise OptimizationError("vectors and latencies must align")
+    if len(vectors) < 2:
+        raise OptimizationError("need at least two plans to build pairs")
+    encoded = normalize_cardinalities(list(vectors)) if normalize else list(vectors)
+    arrays = [v.to_array() for v in encoded]
+    differences: list[np.ndarray] = []
+    labels: list[int] = []
+    gaps: list[float] = []
+    for i in range(len(arrays)):
+        for j in range(i + 1, len(arrays)):
+            differences.append(arrays[i] - arrays[j])
+            labels.append(1 if latencies[i] < latencies[j] else 0)
+            gaps.append(abs(latencies[i] - latencies[j]))
+    return PairDataset(
+        differences=np.array(differences),
+        labels=np.array(labels),
+        latency_gaps=np.array(gaps),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Comparator interface and implementations
+# --------------------------------------------------------------------------- #
+
+
+class PlanComparator:
+    """Interface: pairwise comparison and best-plan selection."""
+
+    #: Short name used in benchmark reports ("RankSVM", "heuristic", ...).
+    name = "abstract"
+
+    def compare(self, first: PlanVector, second: PlanVector) -> int:
+        """1 when ``first`` is predicted faster than ``second``, else 0."""
+        raise NotImplementedError
+
+    def cost(self, vector: PlanVector) -> float | None:
+        """Scalar cost when the model provides one (lower = better)."""
+        return None
+
+    def select_best(self, vectors: Sequence[PlanVector]) -> int:
+        """Index of the predicted-fastest plan among ``vectors``."""
+        if not vectors:
+            raise OptimizationError("select_best needs at least one candidate")
+        costs = [self.cost(v) for v in vectors]
+        if all(c is not None for c in costs):
+            return int(np.argmin(np.array(costs, dtype=np.float64)))
+        # Round-robin vote over every pair (the paper's wrapper for models
+        # that only rank pairs).
+        wins = [0] * len(vectors)
+        for i in range(len(vectors)):
+            for j in range(i + 1, len(vectors)):
+                if self.compare(vectors[i], vectors[j]) == 1:
+                    wins[i] += 1
+                else:
+                    wins[j] += 1
+        return int(np.argmax(wins))
+
+    def rank(self, vectors: Sequence[PlanVector]) -> list[int]:
+        """Indices of candidates ordered best-first."""
+        costs = [self.cost(v) for v in vectors]
+        if all(c is not None for c in costs):
+            return list(np.argsort(np.array(costs, dtype=np.float64)))
+        wins = [0] * len(vectors)
+        for i in range(len(vectors)):
+            for j in range(i + 1, len(vectors)):
+                if self.compare(vectors[i], vectors[j]) == 1:
+                    wins[i] += 1
+                else:
+                    wins[j] += 1
+        return list(np.argsort(-np.array(wins, dtype=np.float64)))
+
+
+class RankSVMComparator(PlanComparator):
+    """Naive learned comparator backed by the linear RankSVM."""
+
+    name = "RankSVM"
+
+    def __init__(self, model: RankSVM | None = None) -> None:
+        self.model = model or RankSVM()
+
+    def fit(self, dataset: PairDataset) -> "RankSVMComparator":
+        """Train the underlying RankSVM on a pair dataset."""
+        self.model.fit(dataset.differences, dataset.labels)
+        return self
+
+    def compare(self, first: PlanVector, second: PlanVector) -> int:
+        return self.model.predict_pair(first.to_array(), second.to_array())
+
+    def cost(self, vector: PlanVector) -> float:
+        return float(self.model.cost(vector.to_array())[0])
+
+    def feature_weights(self) -> np.ndarray:
+        """Learned weights — inspected to derive the heuristic rules."""
+        return self.model.feature_weights()
+
+
+class RandomForestComparator(PlanComparator):
+    """Naive learned comparator backed by the Random Forest."""
+
+    name = "Random Forest"
+
+    def __init__(self, model: RandomForestClassifier | None = None) -> None:
+        self.model = model or RandomForestClassifier(n_estimators=25, max_depth=8)
+
+    def fit(self, dataset: PairDataset) -> "RandomForestComparator":
+        """Train the forest on a pair dataset."""
+        self.model.fit(dataset.differences, dataset.labels)
+        return self
+
+    def compare(self, first: PlanVector, second: PlanVector) -> int:
+        return self.model.predict_pair(first.to_array(), second.to_array())
+
+    def feature_importances(self) -> np.ndarray:
+        """Forest feature importances — also feeds the heuristic design."""
+        if self.model.feature_importances_ is None:
+            raise ModelError("RandomForestComparator not fitted")
+        return self.model.feature_importances_
+
+
+class HeuristicComparator(PlanComparator):
+    """Rule-based comparator with prioritised rules (no training).
+
+    Rules, in priority order (derived from the learned models' weights):
+
+    1. prefer the plan whose summed VDT/result cardinality is smaller by a
+       factor ``alpha`` (the dominant feature — it proxies both SQL result
+       size and network transfer);
+    2. otherwise prefer the plan with more client-side aggregations (cheap
+       reductions of already-small inputs);
+    3. otherwise prefer the plan with fewer client-side operators;
+    4. otherwise prefer the plan with more work offloaded (more VDTs);
+    5. otherwise declare the first plan the winner (stable tie-break).
+    """
+
+    name = "heuristic"
+
+    def __init__(self, alpha: float = 1.5, cardinality_epsilon: float = 1e-9) -> None:
+        if alpha < 1.0:
+            raise OptimizationError("alpha must be >= 1")
+        self.alpha = alpha
+        self.cardinality_epsilon = cardinality_epsilon
+
+    def compare(self, first: PlanVector, second: PlanVector) -> int:
+        rules = (
+            self._rule_cardinality,
+            self._rule_client_aggregates,
+            self._rule_fewer_client_operators,
+            self._rule_more_offloading,
+        )
+        for rule in rules:
+            decision = rule(first, second)
+            if decision is not None:
+                return decision
+        return 1
+
+    # -- individual rules ------------------------------------------------ #
+    def _rule_cardinality(self, first: PlanVector, second: PlanVector) -> int | None:
+        a = first.total_cardinality + self.cardinality_epsilon
+        b = second.total_cardinality + self.cardinality_epsilon
+        if a * self.alpha < b:
+            return 1
+        if b * self.alpha < a:
+            return 0
+        return None
+
+    def _rule_client_aggregates(self, first: PlanVector, second: PlanVector) -> int | None:
+        a = first.client_aggregate_count()
+        b = second.client_aggregate_count()
+        if a > b:
+            return 1
+        if b > a:
+            return 0
+        return None
+
+    def _rule_fewer_client_operators(self, first: PlanVector, second: PlanVector) -> int | None:
+        a = first.client_operator_count()
+        b = second.client_operator_count()
+        if a < b:
+            return 1
+        if b < a:
+            return 0
+        return None
+
+    def _rule_more_offloading(self, first: PlanVector, second: PlanVector) -> int | None:
+        a = first.counts.get("vdt", 0.0)
+        b = second.counts.get("vdt", 0.0)
+        if a > b:
+            return 1
+        if b > a:
+            return 0
+        return None
+
+
+class RandomComparator(PlanComparator):
+    """Sanity-check baseline: picks a random winner for every pair."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def compare(self, first: PlanVector, second: PlanVector) -> int:
+        return int(self._rng.integers(0, 2))
+
+    def select_best(self, vectors: Sequence[PlanVector]) -> int:
+        if not vectors:
+            raise OptimizationError("select_best needs at least one candidate")
+        return int(self._rng.integers(0, len(vectors)))
+
+
+# --------------------------------------------------------------------------- #
+# Training helper
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of training a comparator on a pair dataset."""
+
+    comparator: PlanComparator
+    train_accuracy: float
+    test_accuracy: float
+    n_pairs: int
+
+
+def train_comparator(
+    kind: str,
+    dataset: PairDataset,
+    test_fraction: float = 0.4,
+    seed: int = 0,
+) -> TrainingReport:
+    """Train a comparator of the requested ``kind`` and report accuracy.
+
+    ``kind`` is one of ``"ranksvm"``, ``"random_forest"``, ``"heuristic"``
+    or ``"random"`` (the last two need no training; accuracy is evaluated
+    on the full dataset's pairs for reporting).
+    """
+    kind = kind.lower().replace(" ", "_").replace("-", "_")
+    if kind in ("ranksvm", "svm"):
+        comparator: PlanComparator = RankSVMComparator(RankSVM(seed=seed))
+    elif kind in ("random_forest", "rf", "forest"):
+        comparator = RandomForestComparator(
+            RandomForestClassifier(n_estimators=25, max_depth=8, seed=seed)
+        )
+    elif kind == "heuristic":
+        comparator = HeuristicComparator()
+    elif kind == "random":
+        comparator = RandomComparator(seed=seed)
+    else:
+        raise OptimizationError(f"unknown comparator kind {kind!r}")
+
+    if isinstance(comparator, (RankSVMComparator, RandomForestComparator)):
+        x_train, x_test, y_train, y_test = train_test_split(
+            dataset.differences, dataset.labels, test_fraction=test_fraction, seed=seed
+        )
+        train_subset = PairDataset(
+            differences=x_train, labels=y_train, latency_gaps=np.zeros(len(y_train))
+        )
+        comparator.fit(train_subset)
+        train_accuracy = accuracy_score(y_train, comparator.model.predict(x_train))
+        test_accuracy = accuracy_score(y_test, comparator.model.predict(x_test))
+    else:
+        # Rule-based / random models: evaluate directly on the pair labels.
+        predictions = _predict_pairs_from_differences(comparator, dataset)
+        train_accuracy = test_accuracy = accuracy_score(dataset.labels, predictions)
+
+    return TrainingReport(
+        comparator=comparator,
+        train_accuracy=train_accuracy,
+        test_accuracy=test_accuracy,
+        n_pairs=len(dataset),
+    )
+
+
+def _predict_pairs_from_differences(
+    comparator: PlanComparator, dataset: PairDataset
+) -> np.ndarray:
+    """Evaluate a non-learned comparator on difference vectors.
+
+    Difference vectors lose the individual plan vectors, so rebuild two
+    synthetic vectors per pair: the difference against the zero vector.
+    This preserves the relative feature values the rules inspect.
+    """
+    from repro.core.encoder import FEATURE_OPERATOR_TYPES
+
+    predictions = []
+    n_types = len(FEATURE_OPERATOR_TYPES)
+    for diff in dataset.differences:
+        first = PlanVector(plan_id=0)
+        second = PlanVector(plan_id=1)
+        for index, op_type in enumerate(FEATURE_OPERATOR_TYPES):
+            delta_count = diff[index]
+            delta_card = diff[n_types + index]
+            first.counts[op_type] = max(delta_count, 0.0)
+            second.counts[op_type] = max(-delta_count, 0.0)
+            first.cardinalities[op_type] = max(delta_card, 0.0)
+            second.cardinalities[op_type] = max(-delta_card, 0.0)
+        predictions.append(comparator.compare(first, second))
+    return np.array(predictions)

@@ -1,0 +1,252 @@
+"""Plan encoding: execution plans → feature vectors (Section 5.3.1).
+
+A plan vector concatenates, for a fixed list of operator types, (a) the
+count of operators of that type in the plan's dataflow and (b) the sum of
+their output cardinalities.  Cardinalities span orders of magnitude, so
+they are min-max normalised across the candidate set before training /
+comparison.  Structural features are deliberately omitted — the paper
+argues the single-threaded, loop-free client runtime makes operator-type
+distribution plus cardinalities sufficient for *pairwise* discrimination.
+
+Two encoding modes are provided:
+
+* *measured* — cardinalities read from an executed dataflow (used to build
+  training data, where every candidate plan is executed anyway);
+* *estimated* — cardinalities predicted from the DBMS ``EXPLAIN`` estimates
+  for VDT queries and simple propagation rules for client operators (used
+  at optimization time, when candidate plans must be ranked without being
+  executed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataflow import Dataflow
+from repro.dataflow.operator import Operator, SourceOperator
+from repro.rewrite.rewriter import RewrittenDataflow
+from repro.rewrite.vdt import VegaDBMSTransform
+from repro.sql.engine import Database
+from repro.sql.explain import CostEstimator
+
+#: Operator types tracked by the encoder, in feature order.
+FEATURE_OPERATOR_TYPES: tuple[str, ...] = (
+    "vdt",
+    "source",
+    "filter",
+    "extent",
+    "bin",
+    "aggregate",
+    "joinaggregate",
+    "collect",
+    "project",
+    "formula",
+    "stack",
+    "timeunit",
+    "window",
+)
+
+
+@dataclass
+class PlanVector:
+    """Feature vector of one execution plan (optionally per interaction)."""
+
+    plan_id: int
+    counts: dict[str, float] = field(default_factory=dict)
+    cardinalities: dict[str, float] = field(default_factory=dict)
+    #: Optional tag identifying which interaction episode produced it.
+    episode: int = 0
+
+    def to_array(self) -> np.ndarray:
+        """Concatenate count features then cardinality features."""
+        counts = [self.counts.get(t, 0.0) for t in FEATURE_OPERATOR_TYPES]
+        cards = [self.cardinalities.get(t, 0.0) for t in FEATURE_OPERATOR_TYPES]
+        return np.array(counts + cards, dtype=np.float64)
+
+    @property
+    def total_cardinality(self) -> float:
+        """Sum of output cardinalities across all operator types."""
+        return float(sum(self.cardinalities.values()))
+
+    @property
+    def vdt_cardinality(self) -> float:
+        """Summed output cardinality of VDT operators (≈ bytes transferred)."""
+        return float(self.cardinalities.get("vdt", 0.0))
+
+    def client_aggregate_count(self) -> float:
+        """Number of client-side aggregation operators."""
+        return float(
+            self.counts.get("aggregate", 0.0) + self.counts.get("joinaggregate", 0.0)
+        )
+
+    def client_operator_count(self) -> float:
+        """Total number of client-side (non-VDT) operators."""
+        return float(
+            sum(v for k, v in self.counts.items() if k not in ("vdt", "source"))
+        )
+
+
+def feature_names() -> list[str]:
+    """Names of the encoded features, aligned with ``PlanVector.to_array``."""
+    return [f"count_{t}" for t in FEATURE_OPERATOR_TYPES] + [
+        f"cardinality_{t}" for t in FEATURE_OPERATOR_TYPES
+    ]
+
+
+def normalize_cardinalities(vectors: list[PlanVector]) -> list[PlanVector]:
+    """Min-max normalise cardinality features across a candidate set.
+
+    Counts are left untouched (they are already small integers); each
+    operator type's cardinality is scaled to [0, 1] across the vectors.
+    """
+    if not vectors:
+        return []
+    normalised: list[PlanVector] = []
+    minima: dict[str, float] = {}
+    maxima: dict[str, float] = {}
+    for op_type in FEATURE_OPERATOR_TYPES:
+        values = [v.cardinalities.get(op_type, 0.0) for v in vectors]
+        minima[op_type] = min(values)
+        maxima[op_type] = max(values)
+    for vector in vectors:
+        scaled: dict[str, float] = {}
+        for op_type in FEATURE_OPERATOR_TYPES:
+            low, high = minima[op_type], maxima[op_type]
+            value = vector.cardinalities.get(op_type, 0.0)
+            scaled[op_type] = 0.0 if high == low else (value - low) / (high - low)
+        normalised.append(
+            PlanVector(
+                plan_id=vector.plan_id,
+                counts=dict(vector.counts),
+                cardinalities=scaled,
+                episode=vector.episode,
+            )
+        )
+    return normalised
+
+
+class PlanEncoder:
+    """Encodes rewritten dataflows into :class:`PlanVector` features."""
+
+    def __init__(self, database: Database | None = None) -> None:
+        self._database = database
+
+    # ------------------------------------------------------------------ #
+    def encode_measured(
+        self,
+        rewritten: RewrittenDataflow,
+        plan_id: int,
+        operator_ids: list[int] | None = None,
+        episode: int = 0,
+    ) -> PlanVector:
+        """Encode from an executed dataflow's actual cardinalities.
+
+        ``operator_ids`` restricts the encoding to the operators evaluated
+        in one interaction episode (Section 5.4 collects one vector per
+        interaction, covering only the re-evaluated operators).
+        """
+        vector = PlanVector(plan_id=plan_id, episode=episode)
+        wanted = set(operator_ids) if operator_ids is not None else None
+        for operator in rewritten.dataflow.operators():
+            if wanted is not None and operator.id not in wanted:
+                continue
+            op_type = _operator_type(operator)
+            cardinality = (
+                float(operator.last_result.cardinality)
+                if operator.last_result is not None
+                else 0.0
+            )
+            vector.counts[op_type] = vector.counts.get(op_type, 0.0) + 1.0
+            vector.cardinalities[op_type] = (
+                vector.cardinalities.get(op_type, 0.0) + cardinality
+            )
+        return vector
+
+    def encode_estimated(
+        self, rewritten: RewrittenDataflow, plan_id: int, episode: int = 0
+    ) -> PlanVector:
+        """Encode without executing, using EXPLAIN-style estimates."""
+        vector = PlanVector(plan_id=plan_id, episode=episode)
+        estimates = self._estimate_cardinalities(rewritten)
+        for operator in rewritten.dataflow.operators():
+            op_type = _operator_type(operator)
+            vector.counts[op_type] = vector.counts.get(op_type, 0.0) + 1.0
+            vector.cardinalities[op_type] = vector.cardinalities.get(
+                op_type, 0.0
+            ) + estimates.get(operator.id, 0.0)
+        return vector
+
+    # ------------------------------------------------------------------ #
+    def _estimate_cardinalities(self, rewritten: RewrittenDataflow) -> dict[int, float]:
+        estimates: dict[int, float] = {}
+        dataflow = rewritten.dataflow
+        for operator in dataflow.topological_order():
+            upstream = dataflow.upstream_of(operator)
+            input_rows = estimates.get(upstream.id, 0.0) if upstream is not None else 0.0
+            estimates[operator.id] = self._estimate_operator(operator, input_rows)
+        return estimates
+
+    def _estimate_operator(self, operator: Operator, input_rows: float) -> float:
+        if isinstance(operator, VegaDBMSTransform):
+            return self._estimate_vdt(operator)
+        if isinstance(operator, SourceOperator):
+            result = operator.evaluate([], {}, _EMPTY_CONTEXT)
+            return float(len(result.rows))
+        name = operator.name
+        if name == "filter":
+            return input_rows * 0.3
+        if name == "aggregate":
+            groupby = operator.params.get("groupby") or []
+            if not groupby:
+                return 1.0
+            return float(min(input_rows, 50.0 ** min(len(groupby), 2) * 4))
+        if name == "extent":
+            return input_rows
+        return input_rows
+
+    def _estimate_vdt(self, vdt: VegaDBMSTransform) -> float:
+        if vdt.value_kind == "extent":
+            return 1.0
+        database = self._database or vdt.middleware.database
+        table_rows = 0.0
+        if database is not None and database.catalog.has(vdt.table):
+            table_rows = float(database.table_statistics(vdt.table).num_rows)
+        if not vdt.transforms:
+            return table_rows
+        rows = table_rows
+        for definition in vdt.transforms:
+            kind = definition.get("type")
+            if kind == "filter":
+                rows *= 0.3
+            elif kind == "extent":
+                rows = 1.0
+            elif kind == "aggregate":
+                groupby = definition.get("groupby") or []
+                rows = 1.0 if not groupby else min(rows, 50.0 ** min(len(groupby), 2) * 4)
+        return rows
+
+
+class _NullContext:
+    """Evaluation context stub used only to read SourceOperator row counts."""
+
+    def signal(self, name: str) -> object:  # pragma: no cover - never called
+        return None
+
+    def signals(self) -> dict[str, object]:
+        return {}
+
+    def operator_value(self, operator_id: int) -> object:  # pragma: no cover
+        return None
+
+
+_EMPTY_CONTEXT = _NullContext()
+
+
+def _operator_type(operator: Operator) -> str:
+    if isinstance(operator, VegaDBMSTransform):
+        return "vdt"
+    if isinstance(operator, SourceOperator):
+        return "source"
+    return operator.name if operator.name in FEATURE_OPERATOR_TYPES else "formula"

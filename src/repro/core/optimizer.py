@@ -1,0 +1,153 @@
+"""The VegaPlus optimizer facade.
+
+Given a specification, a backend database (via the middleware) and a plan
+comparator, the optimizer enumerates candidate plans, encodes them (without
+executing them) using EXPLAIN-style estimates, optionally derives one
+vector per anticipated interaction, and selects the plan the comparator
+predicts to be fastest for the whole session.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.comparators import HeuristicComparator, PlanComparator
+from repro.core.consolidation import SessionDecision, consolidate_session
+from repro.core.encoder import PlanEncoder, PlanVector, normalize_cardinalities
+from repro.core.enumerator import PlanEnumerator
+from repro.core.plan import ExecutionPlan
+from repro.errors import OptimizationError
+from repro.net.middleware import MiddlewareServer
+from repro.rewrite.rewriter import RewrittenDataflow, SpecRewriter
+from repro.vega.spec import VegaSpec, parse_spec_dict
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of plan selection."""
+
+    plan: ExecutionPlan
+    candidate_plans: list[ExecutionPlan] = field(default_factory=list)
+    decision: SessionDecision | None = None
+    vectors: list[PlanVector] = field(default_factory=list)
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of plans that were considered."""
+        return len(self.candidate_plans)
+
+
+class VegaPlusOptimizer:
+    """Enumerates, encodes and ranks execution plans for one specification.
+
+    Parameters
+    ----------
+    spec:
+        The Vega specification (dict or :class:`VegaSpec`).
+    middleware:
+        The middleware server wrapping the backend database.
+    comparator:
+        A plan comparator; defaults to the training-free heuristic model.
+    """
+
+    def __init__(
+        self,
+        spec: VegaSpec | dict,
+        middleware: MiddlewareServer,
+        comparator: PlanComparator | None = None,
+    ) -> None:
+        self.spec = parse_spec_dict(spec) if isinstance(spec, dict) else spec
+        self.middleware = middleware
+        self.comparator = comparator or HeuristicComparator()
+        self.enumerator = PlanEnumerator(self.spec)
+        self.rewriter = SpecRewriter(self.spec, middleware)
+        self.encoder = PlanEncoder(middleware.database)
+
+    # ------------------------------------------------------------------ #
+    def enumerate_plans(self) -> list[ExecutionPlan]:
+        """All valid candidate plans."""
+        return self.enumerator.enumerate()
+
+    def build(self, plan: ExecutionPlan) -> RewrittenDataflow:
+        """Materialise the dataflow implementing ``plan`` (not yet executed)."""
+        return self.rewriter.build(plan.as_dict())
+
+    def encode_candidates(
+        self,
+        plans: Sequence[ExecutionPlan],
+        anticipated_interactions: Sequence[Mapping[str, object]] | None = None,
+    ) -> tuple[list[list[PlanVector]], list[RewrittenDataflow]]:
+        """Encode every candidate, optionally once per anticipated interaction.
+
+        Returns ``(episode_vectors, rewritten)`` where
+        ``episode_vectors[e][p]`` is plan ``p``'s vector for episode ``e``
+        (episode 0 = initial rendering) and ``rewritten[p]`` is the built
+        dataflow for plan ``p``.
+        """
+        if not plans:
+            raise OptimizationError("no candidate plans to encode")
+        rewritten = [self.build(plan) for plan in plans]
+        initial = [
+            self.encoder.encode_estimated(r, plan.plan_id, episode=0)
+            for plan, r in zip(plans, rewritten)
+        ]
+        episodes: list[list[PlanVector]] = [normalize_cardinalities(initial)]
+
+        for episode_index, interaction in enumerate(anticipated_interactions or [], start=1):
+            episode_vectors: list[PlanVector] = []
+            for plan, built in zip(plans, rewritten):
+                episode_vectors.append(
+                    self._encode_interaction(built, plan, interaction, episode_index)
+                )
+            episodes.append(normalize_cardinalities(episode_vectors))
+        return episodes, rewritten
+
+    def choose_plan(
+        self,
+        anticipated_interactions: Sequence[Mapping[str, object]] | None = None,
+        episode_weights: Sequence[float] | None = None,
+    ) -> OptimizationResult:
+        """Select the best plan for the (anticipated) session."""
+        plans = self.enumerate_plans()
+        if len(plans) == 1:
+            return OptimizationResult(plan=plans[0], candidate_plans=plans)
+        episodes, _rewritten = self.encode_candidates(plans, anticipated_interactions)
+        decision = consolidate_session(self.comparator, episodes, episode_weights)
+        best = plans[decision.best_plan_index]
+        return OptimizationResult(
+            plan=best,
+            candidate_plans=plans,
+            decision=decision,
+            vectors=episodes[0],
+        )
+
+    # ------------------------------------------------------------------ #
+    def _encode_interaction(
+        self,
+        built: RewrittenDataflow,
+        plan: ExecutionPlan,
+        interaction: Mapping[str, object],
+        episode_index: int,
+    ) -> PlanVector:
+        """Estimated vector covering only operators the interaction touches."""
+        changed = set(interaction)
+        stale = built.dataflow._stale_operators(changed)
+        full = self.encoder.encode_estimated(built, plan.plan_id, episode=episode_index)
+        if not stale:
+            return PlanVector(plan_id=plan.plan_id, episode=episode_index)
+        # Restrict counts/cardinalities to the stale subset by re-walking.
+        vector = PlanVector(plan_id=plan.plan_id, episode=episode_index)
+        estimates = self.encoder._estimate_cardinalities(built)
+        for operator in built.dataflow.operators():
+            if operator.id not in stale:
+                continue
+            from repro.core.encoder import _operator_type
+
+            op_type = _operator_type(operator)
+            vector.counts[op_type] = vector.counts.get(op_type, 0.0) + 1.0
+            vector.cardinalities[op_type] = vector.cardinalities.get(op_type, 0.0) + estimates.get(
+                operator.id, 0.0
+            )
+        del full
+        return vector

@@ -1,0 +1,211 @@
+"""VegaPlusSystem: the end-to-end system facade.
+
+Wires together the three layers of Figure 2 — the client-side runtime, the
+server-side optimizer/middleware, and the backend DBMS — behind one object:
+
+    db = Database();  db.register_rows("flights", rows)
+    system = VegaPlusSystem(spec, db, comparator=my_trained_comparator)
+    system.optimize(anticipated_interactions=[{"maxbins": 30}])
+    first = system.initialize()            # initial rendering
+    update = system.interact({"maxbins": 30})
+    system.dataset("binned")               # rows handed to the renderer
+
+Every call returns an :class:`InteractionResult` with a full latency
+breakdown (measured client/server compute plus modelled network and
+serialisation time).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.comparators import HeuristicComparator, PlanComparator
+from repro.core.optimizer import OptimizationResult, VegaPlusOptimizer
+from repro.core.plan import ExecutionPlan
+from repro.errors import OptimizationError
+from repro.net.channel import NetworkModel
+from repro.net.middleware import MiddlewareServer
+from repro.net.serialize import ArrowCodec, Codec
+from repro.rewrite.rewriter import RewrittenDataflow
+from repro.sql.engine import Database
+from repro.vega.spec import VegaSpec, parse_spec_dict
+
+
+@dataclass
+class LatencyBreakdown:
+    """Where the time of one pass went."""
+
+    client_seconds: float = 0.0
+    server_seconds: float = 0.0
+    network_seconds: float = 0.0
+    serialization_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency."""
+        return (
+            self.client_seconds
+            + self.server_seconds
+            + self.network_seconds
+            + self.serialization_seconds
+        )
+
+
+@dataclass
+class InteractionResult:
+    """Result of the initial rendering or of one interaction."""
+
+    kind: str
+    breakdown: LatencyBreakdown
+    evaluated_operators: int
+    signal_updates: dict[str, object] = field(default_factory=dict)
+    #: The dataflow evaluation report (operator ids, per-operator timing);
+    #: used by the benchmark harness to encode per-episode plan vectors.
+    report: object = None
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency of this pass."""
+        return self.breakdown.total_seconds
+
+
+class VegaPlusSystem:
+    """The complete VegaPlus stack for one dashboard specification."""
+
+    def __init__(
+        self,
+        spec: VegaSpec | dict,
+        database: Database,
+        comparator: PlanComparator | None = None,
+        network: NetworkModel | None = None,
+        codec: Codec | None = None,
+        enable_cache: bool = True,
+    ) -> None:
+        self.spec = parse_spec_dict(spec) if isinstance(spec, dict) else spec
+        self.database = database
+        self.middleware = MiddlewareServer(
+            database,
+            network=network or NetworkModel.lan(),
+            codec=codec or ArrowCodec(),
+            enable_cache=enable_cache,
+        )
+        self.comparator = comparator or HeuristicComparator()
+        self.optimizer = VegaPlusOptimizer(self.spec, self.middleware, self.comparator)
+        self.plan: ExecutionPlan | None = None
+        self.rewritten: RewrittenDataflow | None = None
+        self.optimization: OptimizationResult | None = None
+        self.history: list[InteractionResult] = []
+
+    # ------------------------------------------------------------------ #
+    # Plan selection
+    # ------------------------------------------------------------------ #
+    def optimize(
+        self,
+        anticipated_interactions: Sequence[Mapping[str, object]] | None = None,
+        episode_weights: Sequence[float] | None = None,
+    ) -> OptimizationResult:
+        """Run the optimizer and build the chosen plan's dataflow."""
+        result = self.optimizer.choose_plan(anticipated_interactions, episode_weights)
+        self.use_plan(result.plan)
+        self.optimization = result
+        return result
+
+    def use_plan(self, plan: ExecutionPlan) -> None:
+        """Bypass optimization and execute a specific plan (for baselines)."""
+        self.plan = plan
+        self.rewritten = self.optimizer.build(plan)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def initialize(self) -> InteractionResult:
+        """Run the initial rendering pass of the selected plan."""
+        built = self._require_built()
+        before = self._vdt_costs(built)
+        report = built.dataflow.run()
+        result = self._make_result("initial", report, before, built, {})
+        self.history.append(result)
+        return result
+
+    def interact(self, signal_updates: Mapping[str, object]) -> InteractionResult:
+        """Apply an interaction (signal updates) and re-evaluate."""
+        built = self._require_built()
+        before = self._vdt_costs(built)
+        report = built.dataflow.update_signals(dict(signal_updates))
+        result = self._make_result("interaction", report, before, built, dict(signal_updates))
+        self.history.append(result)
+        return result
+
+    def run_session(
+        self, interactions: Sequence[Mapping[str, object]]
+    ) -> list[InteractionResult]:
+        """Initial render followed by a sequence of interactions."""
+        results = [self.initialize()]
+        for interaction in interactions:
+            results.append(self.interact(interaction))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Results and reporting
+    # ------------------------------------------------------------------ #
+    def dataset(self, name: str) -> list[dict]:
+        """Rows of a named dataset after the most recent pass."""
+        built = self._require_built()
+        return built.dataflow.dataset(name)
+
+    def session_seconds(self) -> float:
+        """Total end-to-end latency across all recorded passes."""
+        return sum(result.total_seconds for result in self.history)
+
+    def cache_statistics(self) -> dict[str, object]:
+        """Cache behaviour of the middleware."""
+        return self.middleware.cache_statistics()
+
+    def describe_plan(self) -> str:
+        """Human-readable description of the selected plan."""
+        if self.plan is None:
+            return "<no plan selected>"
+        return self.plan.describe(self.spec)
+
+    # ------------------------------------------------------------------ #
+    def _require_built(self) -> RewrittenDataflow:
+        if self.rewritten is None:
+            raise OptimizationError(
+                "no plan selected; call optimize() or use_plan() before executing"
+            )
+        return self.rewritten
+
+    @staticmethod
+    def _vdt_costs(built: RewrittenDataflow) -> tuple[float, float, float]:
+        return (
+            built.server_seconds(),
+            built.network_seconds(),
+            built.serialization_seconds(),
+        )
+
+    def _make_result(
+        self,
+        kind: str,
+        report,
+        before: tuple[float, float, float],
+        built: RewrittenDataflow,
+        signal_updates: dict[str, object],
+    ) -> InteractionResult:
+        server_delta = built.server_seconds() - before[0]
+        network_delta = built.network_seconds() - before[1]
+        serialization_delta = built.serialization_seconds() - before[2]
+        client_seconds = max(report.total_seconds - server_delta, 0.0)
+        breakdown = LatencyBreakdown(
+            client_seconds=client_seconds,
+            server_seconds=server_delta,
+            network_seconds=network_delta,
+            serialization_seconds=serialization_delta,
+        )
+        return InteractionResult(
+            kind=kind,
+            breakdown=breakdown,
+            evaluated_operators=len(report.evaluated_operators),
+            signal_updates=signal_updates,
+            report=report,
+        )

@@ -1,0 +1,38 @@
+"""Reactive dataflow runtime modelled after the Vega dataflow.
+
+The client side of the paper's architecture is the Vega runtime: a
+directed acyclic graph of operators that process data tuples and react to
+signal updates with partial re-evaluation (only operators downstream of a
+change re-run).  This package implements that runtime:
+
+* :class:`~repro.dataflow.operator.Operator` — base class with parameters
+  that can reference signals or other operators' outputs,
+* :class:`~repro.dataflow.signals.Signal` — named interaction state,
+* :class:`~repro.dataflow.graph.Dataflow` — the graph, with full and
+  partial (signal-driven) evaluation and per-operator timing,
+* :mod:`~repro.dataflow.transforms` — the Vega transform set used by the
+  paper: filter, extent, bin, aggregate, collect, project, formula, stack,
+  timeunit, window and joinaggregate.
+
+Transforms intentionally process Python row dictionaries one at a time,
+mirroring the single-threaded JavaScript runtime that VegaPlus offloads
+work *from*; the vectorised SQL engine plays the DBMS it offloads *to*.
+"""
+
+from repro.dataflow.operator import Operator, OperatorResult, SourceOperator, ParamRef
+from repro.dataflow.signals import Signal, SignalRegistry
+from repro.dataflow.graph import Dataflow, EvaluationReport
+from repro.dataflow.transforms import create_transform, TRANSFORM_REGISTRY
+
+__all__ = [
+    "Operator",
+    "OperatorResult",
+    "SourceOperator",
+    "ParamRef",
+    "Signal",
+    "SignalRegistry",
+    "Dataflow",
+    "EvaluationReport",
+    "create_transform",
+    "TRANSFORM_REGISTRY",
+]

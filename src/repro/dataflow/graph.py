@@ -1,0 +1,292 @@
+"""The dataflow graph: construction, full and partial evaluation.
+
+A :class:`Dataflow` holds operators connected by two kinds of edges:
+
+* *data edges* — each operator has at most one upstream operator whose row
+  output it consumes (Vega data pipelines are linear per data entry, with
+  branching where several entries source from the same parent);
+* *parameter edges* — an operator's parameters may reference signals or
+  another operator's output value (e.g. ``bin`` depending on ``extent``).
+
+Evaluation walks operators in topological order.  A signal update marks
+only the operators that (transitively) depend on that signal as stale and
+re-evaluates just those — Vega's partial re-evaluation model, which the
+VegaPlus optimizer exploits when costing interactions (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import CycleError, DataflowError
+from repro.dataflow.operator import (
+    EvaluationContext,
+    Operator,
+    OperatorResult,
+    SourceOperator,
+)
+from repro.dataflow.signals import SignalRegistry
+
+
+@dataclass
+class EvaluationReport:
+    """Timing and cardinality information for one dataflow evaluation."""
+
+    evaluated_operators: list[int] = field(default_factory=list)
+    operator_seconds: dict[int, float] = field(default_factory=dict)
+    operator_cardinality: dict[int, int] = field(default_factory=dict)
+    total_seconds: float = 0.0
+
+    def merge(self, other: "EvaluationReport") -> "EvaluationReport":
+        """Combine two reports (used when an interaction triggers several roots)."""
+        merged = EvaluationReport(
+            evaluated_operators=self.evaluated_operators + other.evaluated_operators,
+            operator_seconds={**self.operator_seconds, **other.operator_seconds},
+            operator_cardinality={
+                **self.operator_cardinality,
+                **other.operator_cardinality,
+            },
+            total_seconds=self.total_seconds + other.total_seconds,
+        )
+        return merged
+
+
+class Dataflow:
+    """A directed acyclic graph of dataflow operators plus its signals."""
+
+    def __init__(self) -> None:
+        self.signals = SignalRegistry()
+        self._operators: dict[int, Operator] = {}
+        self._upstream: dict[int, int | None] = {}
+        self._named_operators: dict[str, Operator] = {}
+        self._datasets: dict[str, int] = {}
+        self._clock = 0
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def add_operator(
+        self,
+        operator: Operator,
+        source: Operator | None = None,
+        name: str | None = None,
+    ) -> Operator:
+        """Add ``operator``, optionally consuming ``source``'s row output.
+
+        ``name`` registers the operator for parameter references
+        (``ParamRef(kind="operator", name=...)``) and dataset lookups.
+        """
+        if operator.id in self._operators:
+            raise DataflowError(f"operator {operator!r} already added")
+        if source is not None and source.id not in self._operators:
+            raise DataflowError(f"source operator {source!r} is not part of this dataflow")
+        self._operators[operator.id] = operator
+        self._upstream[operator.id] = source.id if source is not None else None
+        if name is not None:
+            if name in self._named_operators:
+                raise DataflowError(f"operator name {name!r} already in use")
+            self._named_operators[name] = operator
+        return operator
+
+    def add_source(self, rows: list[dict[str, object]], name: str = "source") -> SourceOperator:
+        """Convenience: add a :class:`SourceOperator` holding ``rows``."""
+        source = SourceOperator(rows, name=name)
+        self.add_operator(source, None, name=name)
+        return source
+
+    def mark_dataset(self, name: str, operator: Operator) -> None:
+        """Mark ``operator``'s output as the named dataset visible to marks/scales."""
+        if operator.id not in self._operators:
+            raise DataflowError(f"operator {operator!r} is not part of this dataflow")
+        self._datasets[name] = operator.id
+
+    def declare_signal(self, name: str, value: object = None, bind: dict | None = None) -> None:
+        """Declare an interaction signal."""
+        self.signals.declare(name, value=value, bind=bind)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def operators(self) -> list[Operator]:
+        """All operators in insertion order."""
+        return list(self._operators.values())
+
+    def operator(self, operator_id: int) -> Operator:
+        """Look up an operator by id."""
+        try:
+            return self._operators[operator_id]
+        except KeyError as exc:
+            raise DataflowError(f"unknown operator id {operator_id}") from exc
+
+    def named_operator(self, name: str) -> Operator:
+        """Look up an operator by its registered name."""
+        try:
+            return self._named_operators[name]
+        except KeyError as exc:
+            raise DataflowError(
+                f"unknown operator name {name!r}; known: {sorted(self._named_operators)}"
+            ) from exc
+
+    def operator_names(self) -> dict[str, Operator]:
+        """Mapping of registered operator names."""
+        return dict(self._named_operators)
+
+    def upstream_of(self, operator: Operator) -> Operator | None:
+        """The operator whose rows ``operator`` consumes, if any."""
+        upstream_id = self._upstream.get(operator.id)
+        return None if upstream_id is None else self._operators[upstream_id]
+
+    def downstream_of(self, operator: Operator) -> list[Operator]:
+        """Operators that consume ``operator``'s rows or output value."""
+        result = []
+        for candidate in self._operators.values():
+            if self._upstream.get(candidate.id) == operator.id:
+                result.append(candidate)
+                continue
+            for ref_name in candidate.operator_dependencies():
+                referenced = self._named_operators.get(ref_name)
+                if referenced is not None and referenced.id == operator.id:
+                    result.append(candidate)
+                    break
+        return result
+
+    def dataset_names(self) -> list[str]:
+        """Names of datasets exposed to the renderer."""
+        return sorted(self._datasets)
+
+    def dataset(self, name: str) -> list[dict[str, object]]:
+        """Rows of a named dataset from the last evaluation."""
+        try:
+            operator_id = self._datasets[name]
+        except KeyError as exc:
+            raise DataflowError(
+                f"unknown dataset {name!r}; known: {self.dataset_names()}"
+            ) from exc
+        operator = self._operators[operator_id]
+        if operator.last_result is None:
+            raise DataflowError(f"dataset {name!r} has not been evaluated yet")
+        return operator.last_result.rows
+
+    def num_operators(self) -> int:
+        """Number of operators in the graph."""
+        return len(self._operators)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def topological_order(self) -> list[Operator]:
+        """Operators sorted so that every dependency precedes its dependents."""
+        indegree: dict[int, int] = {op_id: 0 for op_id in self._operators}
+        dependents: dict[int, list[int]] = {op_id: [] for op_id in self._operators}
+        for op_id, operator in self._operators.items():
+            deps = self._dependency_ids(operator)
+            indegree[op_id] = len(deps)
+            for dep in deps:
+                dependents[dep].append(op_id)
+        ready = [op_id for op_id, degree in indegree.items() if degree == 0]
+        ordered: list[Operator] = []
+        while ready:
+            current = ready.pop(0)
+            ordered.append(self._operators[current])
+            for dependent in dependents[current]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+        if len(ordered) != len(self._operators):
+            raise CycleError("dataflow contains a dependency cycle")
+        return ordered
+
+    def run(self) -> EvaluationReport:
+        """Evaluate the full dataflow."""
+        self._clock += 1
+        return self._evaluate(self.topological_order())
+
+    def update_signal(self, name: str, value: object) -> EvaluationReport:
+        """Update a signal and partially re-evaluate dependent operators."""
+        self._clock += 1
+        changed = self.signals.set(name, value, self._clock)
+        if not changed:
+            return EvaluationReport()
+        stale = self._stale_operators({name})
+        ordered = [op for op in self.topological_order() if op.id in stale]
+        return self._evaluate(ordered)
+
+    def update_signals(self, updates: dict[str, object]) -> EvaluationReport:
+        """Update several signals at once (one combined partial re-evaluation)."""
+        self._clock += 1
+        changed_names = {
+            name for name, value in updates.items()
+            if self.signals.set(name, value, self._clock)
+        }
+        if not changed_names:
+            return EvaluationReport()
+        stale = self._stale_operators(changed_names)
+        ordered = [op for op in self.topological_order() if op.id in stale]
+        return self._evaluate(ordered)
+
+    # ------------------------------------------------------------------ #
+    def _dependency_ids(self, operator: Operator) -> set[int]:
+        deps: set[int] = set()
+        upstream_id = self._upstream.get(operator.id)
+        if upstream_id is not None:
+            deps.add(upstream_id)
+        for ref_name in operator.operator_dependencies():
+            referenced = self._named_operators.get(ref_name)
+            if referenced is None:
+                raise DataflowError(
+                    f"operator {operator!r} references unknown operator {ref_name!r}"
+                )
+            deps.add(referenced.id)
+        return deps
+
+    def _stale_operators(self, changed_signals: set[str]) -> set[int]:
+        """Ids of operators that must re-run after the given signal changes."""
+        stale: set[int] = set()
+        for operator in self._operators.values():
+            if operator.signal_dependencies() & changed_signals:
+                stale.add(operator.id)
+        # Propagate staleness to all transitive dependents.
+        changed = True
+        while changed:
+            changed = False
+            for operator in self._operators.values():
+                if operator.id in stale:
+                    continue
+                if self._dependency_ids(operator) & stale:
+                    stale.add(operator.id)
+                    changed = True
+        return stale
+
+    def _evaluate(self, operators: Iterable[Operator]) -> EvaluationReport:
+        report = EvaluationReport()
+        refs = {name: op.id for name, op in self._named_operators.items()}
+        start_total = time.perf_counter()
+        for operator in operators:
+            results = {
+                op_id: op.last_result
+                for op_id, op in self._operators.items()
+                if op.last_result is not None
+            }
+            context = EvaluationContext(self.signals.values(), results)
+            upstream = self.upstream_of(operator)
+            if upstream is not None:
+                if upstream.last_result is None:
+                    raise DataflowError(
+                        f"operator {operator!r} evaluated before its source {upstream!r}"
+                    )
+                source_rows = upstream.last_result.rows
+            else:
+                source_rows = []
+            params = operator.resolve_params(context, refs)
+            started = time.perf_counter()
+            result = operator.evaluate(source_rows, params, context)
+            elapsed = time.perf_counter() - started
+            operator.last_result = result
+            operator.stamp = self._clock
+            report.evaluated_operators.append(operator.id)
+            report.operator_seconds[operator.id] = elapsed
+            report.operator_cardinality[operator.id] = result.cardinality
+        report.total_seconds = time.perf_counter() - start_total
+        return report

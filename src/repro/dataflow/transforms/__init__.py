@@ -1,0 +1,89 @@
+"""The Vega transform set.
+
+Each transform is an :class:`~repro.dataflow.operator.Operator` subclass.
+:func:`create_transform` builds a transform from a Vega JSON transform
+definition (``{"type": "filter", "expr": "..."}``), resolving
+``{"signal": ...}`` parameter references into :class:`ParamRef` objects.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecError
+from repro.dataflow.operator import Operator, ParamRef
+from repro.dataflow.transforms.filter import FilterTransform
+from repro.dataflow.transforms.extent import ExtentTransform
+from repro.dataflow.transforms.bin import BinTransform
+from repro.dataflow.transforms.aggregate import AggregateTransform, JoinAggregateTransform
+from repro.dataflow.transforms.collect import CollectTransform
+from repro.dataflow.transforms.project import ProjectTransform
+from repro.dataflow.transforms.formula import FormulaTransform
+from repro.dataflow.transforms.stack import StackTransform
+from repro.dataflow.transforms.timeunit import TimeUnitTransform
+from repro.dataflow.transforms.window import WindowTransform
+
+#: Registry mapping Vega transform type names to implementation classes.
+TRANSFORM_REGISTRY: dict[str, type[Operator]] = {
+    "filter": FilterTransform,
+    "extent": ExtentTransform,
+    "bin": BinTransform,
+    "aggregate": AggregateTransform,
+    "joinaggregate": JoinAggregateTransform,
+    "collect": CollectTransform,
+    "project": ProjectTransform,
+    "formula": FormulaTransform,
+    "stack": StackTransform,
+    "timeunit": TimeUnitTransform,
+    "window": WindowTransform,
+}
+
+
+def _convert_param(value: object) -> object:
+    """Convert raw JSON parameter values into runtime parameter values.
+
+    ``{"signal": "name"}`` becomes a signal :class:`ParamRef`;
+    ``{"operator": "name"}`` references another operator's output value
+    (Vega expresses this as a signal bound to that operator — the spec
+    parser normalises both forms).
+    """
+    if isinstance(value, dict):
+        if set(value) == {"signal"}:
+            return ParamRef(kind="signal", name=value["signal"])
+        if set(value) == {"operator"}:
+            return ParamRef(kind="operator", name=value["operator"])
+        return {k: _convert_param(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_convert_param(v) for v in value]
+    return value
+
+
+def create_transform(definition: dict) -> Operator:
+    """Instantiate a transform operator from a Vega transform definition."""
+    if not isinstance(definition, dict) or "type" not in definition:
+        raise SpecError(f"transform definition must have a 'type': {definition!r}")
+    transform_type = definition["type"]
+    try:
+        cls = TRANSFORM_REGISTRY[transform_type]
+    except KeyError as exc:
+        raise SpecError(
+            f"unknown transform type {transform_type!r}; "
+            f"supported: {sorted(TRANSFORM_REGISTRY)}"
+        ) from exc
+    params = {k: _convert_param(v) for k, v in definition.items() if k != "type"}
+    return cls(params)  # type: ignore[call-arg]
+
+
+__all__ = [
+    "TRANSFORM_REGISTRY",
+    "create_transform",
+    "FilterTransform",
+    "ExtentTransform",
+    "BinTransform",
+    "AggregateTransform",
+    "JoinAggregateTransform",
+    "CollectTransform",
+    "ProjectTransform",
+    "FormulaTransform",
+    "StackTransform",
+    "TimeUnitTransform",
+    "WindowTransform",
+]

@@ -1,0 +1,35 @@
+"""Synthetic dataset generators used by the benchmark suite.
+
+The paper evaluates VegaPlus on five real-world datasets (flights, movies,
+weather, taxi trips, stocks) scaled to different sizes.  Those datasets are
+not redistributable, so this package generates seeded synthetic equivalents
+whose *shape* (field names, types, categorical cardinalities, numeric
+ranges, temporal extents) matches the originals closely enough that query
+selectivities and aggregation group counts behave the same way.
+"""
+
+from repro.datasets.schema import FieldSpec, DatasetSchema, FieldType
+from repro.datasets.generators import (
+    DatasetGenerator,
+    generate_dataset,
+    available_datasets,
+    flights_schema,
+    movies_schema,
+    weather_schema,
+    taxi_schema,
+    stocks_schema,
+)
+
+__all__ = [
+    "FieldSpec",
+    "FieldType",
+    "DatasetSchema",
+    "DatasetGenerator",
+    "generate_dataset",
+    "available_datasets",
+    "flights_schema",
+    "movies_schema",
+    "weather_schema",
+    "taxi_schema",
+    "stocks_schema",
+]

@@ -1,0 +1,222 @@
+"""Translation of Vega expressions to SQL predicates and expressions.
+
+Section 4 of the paper describes parsing the filter expression string into
+an AST and generating a SQL WHERE clause, noting that when an equivalent
+SQL predicate is not found, VegaPlus falls back to native execution in
+Vega.  :func:`to_sql` raises :class:`ExpressionTranslationError` in that
+case; :func:`is_translatable` wraps that check for the rewriter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ExpressionTranslationError
+from repro.expr.nodes import (
+    BinaryNode,
+    BooleanNode,
+    CallNode,
+    ConditionalNode,
+    ExprNode,
+    IdentifierNode,
+    MemberNode,
+    NullNode,
+    NumberNode,
+    StringNode,
+    UnaryNode,
+)
+from repro.expr.parser import parse_expression
+
+#: Vega expression functions with a direct SQL scalar-function equivalent.
+_FUNCTION_MAP = {
+    "abs": "ABS",
+    "ceil": "CEIL",
+    "floor": "FLOOR",
+    "round": "ROUND",
+    "sqrt": "SQRT",
+    "log": "LN",
+    "ln": "LN",
+    "exp": "EXP",
+    "pow": "POWER",
+    "upper": "UPPER",
+    "lower": "LOWER",
+    "length": "LENGTH",
+}
+
+#: Binary operators that map one-to-one onto SQL.
+_BINARY_MAP = {
+    "&&": "AND",
+    "||": "OR",
+    "==": "=",
+    "!=": "<>",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+}
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        if float(value).is_integer():
+            return str(int(value))
+        return repr(float(value))
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def to_sql(
+    expression: ExprNode | str,
+    signals: Mapping[str, object] | None = None,
+) -> str:
+    """Translate a Vega expression into SQL text.
+
+    ``datum.<field>`` becomes a bare column reference; signal references
+    are substituted with their current values from ``signals`` (the
+    rewriter re-translates when signals change, so values are inlined).
+
+    Raises
+    ------
+    ExpressionTranslationError
+        If the expression uses a construct with no SQL equivalent.
+    """
+    node = parse_expression(expression) if isinstance(expression, str) else expression
+    return _translate(node, dict(signals or {}))
+
+
+def is_translatable(
+    expression: ExprNode | str, signals: Mapping[str, object] | None = None
+) -> bool:
+    """Whether :func:`to_sql` would succeed for this expression."""
+    try:
+        to_sql(expression, signals)
+    except ExpressionTranslationError:
+        return False
+    return True
+
+
+def _translate(node: ExprNode, signals: dict[str, object]) -> str:
+    if isinstance(node, NumberNode):
+        return _format_value(node.value)
+    if isinstance(node, StringNode):
+        return _format_value(node.value)
+    if isinstance(node, BooleanNode):
+        return _format_value(node.value)
+    if isinstance(node, NullNode):
+        return "NULL"
+    if isinstance(node, IdentifierNode):
+        if node.name == "datum":
+            raise ExpressionTranslationError(
+                "bare 'datum' reference has no SQL equivalent"
+            )
+        if node.name in signals:
+            return _format_value(signals[node.name])
+        raise ExpressionTranslationError(
+            f"signal {node.name!r} has no bound value at rewrite time"
+        )
+    if isinstance(node, MemberNode):
+        if isinstance(node.obj, IdentifierNode) and node.obj.name == "datum":
+            return _quote_column(node.member)
+        if isinstance(node.obj, IdentifierNode) and node.obj.name in signals:
+            value = signals[node.obj.name]
+            if isinstance(value, Mapping) and node.member in value:
+                return _format_value(value[node.member])
+            raise ExpressionTranslationError(
+                f"signal member {node.obj.name}.{node.member} is not available"
+            )
+        raise ExpressionTranslationError(
+            f"member access {node} cannot be translated to SQL"
+        )
+    if isinstance(node, UnaryNode):
+        inner = _translate(node.operand, signals)
+        if node.op == "!":
+            return f"NOT ({inner})"
+        if node.op == "-":
+            return f"-({inner})"
+        raise ExpressionTranslationError(f"unary operator {node.op!r} not supported in SQL")
+    if isinstance(node, BinaryNode):
+        return _translate_binary(node, signals)
+    if isinstance(node, ConditionalNode):
+        test = _translate(node.test, signals)
+        consequent = _translate(node.consequent, signals)
+        alternate = _translate(node.alternate, signals)
+        return f"CASE WHEN {test} THEN {consequent} ELSE {alternate} END"
+    if isinstance(node, CallNode):
+        return _translate_call(node, signals)
+    raise ExpressionTranslationError(f"cannot translate expression node {node!r}")
+
+
+def _translate_binary(node: BinaryNode, signals: dict[str, object]) -> str:
+    # Equality against null becomes IS NULL / IS NOT NULL.
+    if node.op in ("==", "!="):
+        if isinstance(node.right, NullNode):
+            column = _translate(node.left, signals)
+            return f"{column} IS {'NOT ' if node.op == '!=' else ''}NULL"
+        if isinstance(node.left, NullNode):
+            column = _translate(node.right, signals)
+            return f"{column} IS {'NOT ' if node.op == '!=' else ''}NULL"
+    try:
+        sql_op = _BINARY_MAP[node.op]
+    except KeyError as exc:
+        raise ExpressionTranslationError(
+            f"operator {node.op!r} has no SQL equivalent"
+        ) from exc
+    left = _translate(node.left, signals)
+    right = _translate(node.right, signals)
+    return f"({left} {sql_op} {right})"
+
+
+def _translate_call(node: CallNode, signals: dict[str, object]) -> str:
+    name = node.name.lower()
+    if name == "isvalid":
+        if len(node.args) != 1:
+            raise ExpressionTranslationError("isValid() requires one argument")
+        inner = _translate(node.args[0], signals)
+        return f"{inner} IS NOT NULL"
+    if name == "if":
+        if len(node.args) != 3:
+            raise ExpressionTranslationError("if() requires three arguments")
+        test = _translate(node.args[0], signals)
+        consequent = _translate(node.args[1], signals)
+        alternate = _translate(node.args[2], signals)
+        return f"CASE WHEN {test} THEN {consequent} ELSE {alternate} END"
+    if name in ("min", "max"):
+        raise ExpressionTranslationError(
+            f"{node.name}() over per-row arguments has no portable SQL equivalent"
+        )
+    if name in ("year", "month", "week", "day", "hours", "minutes", "seconds", "time"):
+        raise ExpressionTranslationError(
+            f"date function {node.name}() is handled by the timeunit rewrite, "
+            "not by expression translation"
+        )
+    try:
+        sql_name = _FUNCTION_MAP[name]
+    except KeyError as exc:
+        raise ExpressionTranslationError(
+            f"function {node.name!r} has no SQL equivalent"
+        ) from exc
+    args = ", ".join(_translate(arg, signals) for arg in node.args)
+    return f"{sql_name}({args})"
+
+
+def _quote_column(name: str) -> str:
+    """Column references in generated SQL.
+
+    The SQL engine accepts bare identifiers; names that are not valid
+    identifiers cannot be produced by the benchmark schemas, so reject them
+    loudly instead of silently generating broken SQL.
+    """
+    if not name.isidentifier():
+        raise ExpressionTranslationError(
+            f"field name {name!r} is not a valid SQL identifier"
+        )
+    return name

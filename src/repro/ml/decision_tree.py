@@ -1,0 +1,187 @@
+"""CART decision tree classifier (Gini impurity, binary splits)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass
+class _TreeNode:
+    """A node of the fitted tree (leaf when ``feature`` is None)."""
+
+    prediction: int
+    probability: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_TreeNode | None" = None
+    right: "_TreeNode | None" = None
+
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if len(labels) == 0:
+        return 0.0
+    positive = float(np.mean(labels))
+    return 2.0 * positive * (1.0 - positive)
+
+
+class DecisionTreeClassifier:
+    """Binary classification tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth.
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    max_features:
+        Number of candidate features per split (``None`` = all); the
+        random forest passes ``sqrt(n_features)``.
+    seed:
+        Seed for feature sub-sampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth <= 0:
+            raise ModelError("max_depth must be positive")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: _TreeNode | None = None
+        self.n_features_: int = 0
+        self.feature_importances_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit the tree on a binary-labelled dataset."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=int)
+        if features.ndim != 2:
+            raise ModelError("features must be a 2-D matrix")
+        if len(features) != len(labels):
+            raise ModelError("features and labels must have the same length")
+        if len(features) == 0:
+            raise ModelError("cannot fit a tree on an empty dataset")
+        self.n_features_ = features.shape[1]
+        self._importance = np.zeros(self.n_features_, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        self.root_ = self._grow(features, labels, depth=0, rng=rng)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else self._importance
+        )
+        return self
+
+    def _grow(
+        self, features: np.ndarray, labels: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _TreeNode:
+        prediction = int(round(float(np.mean(labels)))) if len(labels) else 0
+        probability = float(np.mean(labels)) if len(labels) else 0.0
+        node = _TreeNode(prediction=prediction, probability=probability)
+        if (
+            depth >= self.max_depth
+            or len(labels) < self.min_samples_split
+            or len(np.unique(labels)) == 1
+        ):
+            return node
+
+        best = self._best_split(features, labels, rng)
+        if best is None:
+            return node
+        feature, threshold, gain = best
+        mask = features[:, feature] <= threshold
+        if mask.all() or (~mask).all():
+            return node
+        self._importance[feature] += gain * len(labels)
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], labels[mask], depth + 1, rng)
+        node.right = self._grow(features[~mask], labels[~mask], depth + 1, rng)
+        return node
+
+    def _best_split(
+        self, features: np.ndarray, labels: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float, float] | None:
+        n_samples, n_features = features.shape
+        parent_impurity = _gini(labels)
+        # Only consider features that actually vary in this node; sampling
+        # constant features would waste the per-split feature budget (plan
+        # vectors are sparse — most operator types never appear).
+        varying = np.array(
+            [f for f in range(n_features) if features[:, f].min() != features[:, f].max()],
+            dtype=int,
+        )
+        if varying.size == 0:
+            return None
+        candidates = varying
+        if self.max_features is not None and self.max_features < varying.size:
+            candidates = rng.choice(varying, size=self.max_features, replace=False)
+
+        best_gain = 0.0
+        best: tuple[int, float, float] | None = None
+        for feature in candidates:
+            values = features[:, feature]
+            unique = np.unique(values)
+            if len(unique) <= 1:
+                continue
+            # Candidate thresholds: midpoints between consecutive unique values,
+            # capped to keep the search cheap on continuous features.
+            if len(unique) > 32:
+                quantiles = np.linspace(0.02, 0.98, 32)
+                thresholds = np.unique(np.quantile(values, quantiles))
+            else:
+                thresholds = (unique[:-1] + unique[1:]) / 2.0
+            for threshold in thresholds:
+                mask = values <= threshold
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == n_samples:
+                    continue
+                impurity = (
+                    n_left * _gini(labels[mask])
+                    + (n_samples - n_left) * _gini(labels[~mask])
+                ) / n_samples
+                gain = parent_impurity - impurity
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best = (int(feature), float(threshold), float(gain))
+        return best
+
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of class 1 for each sample."""
+        if self.root_ is None:
+            raise ModelError("DecisionTreeClassifier.predict called before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return np.array([self._predict_one(row) for row in features])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class (0/1) for each sample."""
+        return (self.predict_proba(features) >= 0.5).astype(int)
+
+    def _predict_one(self, row: np.ndarray) -> float:
+        node = self.root_
+        while node is not None and not node.is_leaf():
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.probability if node is not None else 0.0
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def measure(node: _TreeNode | None) -> int:
+            if node is None or node.is_leaf():
+                return 0
+            return 1 + max(measure(node.left), measure(node.right))
+
+        return measure(self.root_)

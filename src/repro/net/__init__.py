@@ -1,0 +1,34 @@
+"""Simulated client ↔ middleware ↔ DBMS plumbing.
+
+The paper's end-to-end latency combines client compute, server compute and
+network transfer (HTTP round trips, JSON vs Apache Arrow serialisation).
+This package models the parts that are not Python compute:
+
+* :mod:`~repro.net.serialize` — payload size estimation for a JSON-like
+  text codec and an Arrow-like binary columnar codec,
+* :mod:`~repro.net.channel` — a network model (round-trip latency +
+  bandwidth) and a virtual clock that accumulates modelled time,
+* :mod:`~repro.net.cache` — the two-level FIFO query cache of Section 5.5,
+* :mod:`~repro.net.middleware` — the middleware server that receives SQL
+  from VDT operators, consults the caches, executes on the DBMS and
+  returns results with a full cost breakdown.
+"""
+
+from repro.net.serialize import JsonCodec, ArrowCodec, Codec, estimate_payload_bytes
+from repro.net.channel import NetworkModel, VirtualClock, TransferCost
+from repro.net.cache import QueryCache, CacheStatistics
+from repro.net.middleware import MiddlewareServer, QueryResponse
+
+__all__ = [
+    "JsonCodec",
+    "ArrowCodec",
+    "Codec",
+    "estimate_payload_bytes",
+    "NetworkModel",
+    "VirtualClock",
+    "TransferCost",
+    "QueryCache",
+    "CacheStatistics",
+    "MiddlewareServer",
+    "QueryResponse",
+]

@@ -1,0 +1,108 @@
+"""Query result caches.
+
+Section 5.5: VegaPlus keeps a client-side cache and a server-side
+middleware cache.  Each cache maps the executed SQL string to its result,
+has a fixed capacity with first-in-first-out replacement, avoids duplicate
+entries, and only admits results below a size threshold.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected_too_large: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class CacheEntry:
+    """One cached query result."""
+
+    query: str
+    rows: list[dict]
+    payload_bytes: int
+
+
+class QueryCache:
+    """A FIFO cache of SQL query results.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached queries (FIFO eviction beyond this).
+    max_result_bytes:
+        Results larger than this are never cached ("to avoid the cached
+        entity being too large, we set a threshold for the size of the
+        query result").
+    name:
+        Label used in statistics reporting ("client" / "server").
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 64,
+        max_result_bytes: int = 2_000_000,
+        name: str = "cache",
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.max_result_bytes = max_result_bytes
+        self.name = name
+        self.stats = CacheStatistics()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    def get(self, query: str) -> CacheEntry | None:
+        """Look up a query; records a hit or miss."""
+        entry = self._entries.get(query)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def contains(self, query: str) -> bool:
+        """Whether the query is cached (does not affect statistics)."""
+        return query in self._entries
+
+    def put(self, query: str, rows: list[dict], payload_bytes: int) -> bool:
+        """Insert a result; returns True when it was actually cached."""
+        if payload_bytes > self.max_result_bytes:
+            self.stats.rejected_too_large += 1
+            return False
+        if query in self._entries:
+            # Duplicate check: keep the existing entry and its FIFO position.
+            return False
+        if len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[query] = CacheEntry(query=query, rows=rows, payload_bytes=payload_bytes)
+        self.stats.insertions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def cached_queries(self) -> list[str]:
+        """The cached query strings in FIFO order."""
+        return list(self._entries)

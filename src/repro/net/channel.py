@@ -1,0 +1,98 @@
+"""Network model and virtual clock.
+
+End-to-end latency in the paper is wall-clock time on a real deployment.
+Here compute time is measured (Python execution) while network time is
+*modelled*: each query round trip costs one RTT plus payload size divided
+by bandwidth.  The :class:`VirtualClock` accumulates modelled time so the
+benchmark harness can report ``measured compute + modelled transfer``
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    """Cost of moving one payload across the client/server boundary."""
+
+    payload_bytes: int
+    seconds: float
+    round_trips: int = 1
+
+
+@dataclass
+class NetworkModel:
+    """Round-trip latency + bandwidth model of the client↔server link.
+
+    Defaults approximate a same-campus deployment (the paper's middleware
+    and DBMS run next to each other; the browser talks to them over a fast
+    LAN): 4 ms RTT and 500 Mbit/s of usable bandwidth.  A ``localhost``
+    profile and a ``wan`` profile are provided for the ablation benches.
+    """
+
+    rtt_seconds: float = 0.004
+    bandwidth_bytes_per_second: float = 500e6 / 8
+
+    def transfer(self, payload_bytes: int, round_trips: int = 1) -> TransferCost:
+        """Cost of transferring ``payload_bytes`` with ``round_trips`` RTTs."""
+        seconds = round_trips * self.rtt_seconds + payload_bytes / self.bandwidth_bytes_per_second
+        return TransferCost(payload_bytes=payload_bytes, seconds=seconds, round_trips=round_trips)
+
+    @classmethod
+    def localhost(cls) -> "NetworkModel":
+        """A DBMS running on the client machine (or in the browser)."""
+        return cls(rtt_seconds=0.0002, bandwidth_bytes_per_second=5e9)
+
+    @classmethod
+    def lan(cls) -> "NetworkModel":
+        """Same-site middleware/DBMS (default)."""
+        return cls()
+
+    @classmethod
+    def wan(cls) -> "NetworkModel":
+        """A remote DBMS across the internet."""
+        return cls(rtt_seconds=0.05, bandwidth_bytes_per_second=50e6 / 8)
+
+
+@dataclass
+class VirtualClock:
+    """Accumulates measured and modelled time separately.
+
+    ``compute_seconds`` is real, measured Python execution time;
+    ``network_seconds`` and ``serialization_seconds`` are modelled.  The
+    total is what the benchmark reports as end-to-end latency.
+    """
+
+    compute_seconds: float = 0.0
+    network_seconds: float = 0.0
+    serialization_seconds: float = 0.0
+    events: list[tuple[str, float]] = field(default_factory=list)
+
+    def add_compute(self, seconds: float, label: str = "compute") -> None:
+        """Record measured compute time."""
+        self.compute_seconds += seconds
+        self.events.append((label, seconds))
+
+    def add_network(self, seconds: float, label: str = "network") -> None:
+        """Record modelled transfer time."""
+        self.network_seconds += seconds
+        self.events.append((label, seconds))
+
+    def add_serialization(self, seconds: float, label: str = "serialization") -> None:
+        """Record modelled encode/decode time."""
+        self.serialization_seconds += seconds
+        self.events.append((label, seconds))
+
+    @property
+    def total_seconds(self) -> float:
+        """Total end-to-end latency."""
+        return self.compute_seconds + self.network_seconds + self.serialization_seconds
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.compute_seconds = 0.0
+        self.network_seconds = 0.0
+        self.serialization_seconds = 0.0
+        self.events.clear()

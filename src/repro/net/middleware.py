@@ -1,0 +1,152 @@
+"""The middleware server between the Vega client and the DBMS.
+
+VDT operators send SQL over (simulated) HTTP to this middleware, which
+checks the caches, executes the query on the backend
+:class:`~repro.sql.engine.Database` when needed, serialises the result and
+returns it together with a cost breakdown (server compute, serialisation,
+network transfer).  The client-side cache is also owned here for
+convenience — lookups against it cost nothing on the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.cache import QueryCache
+from repro.net.channel import NetworkModel
+from repro.net.serialize import ArrowCodec, Codec
+from repro.sql.engine import Database
+
+
+@dataclass
+class QueryResponse:
+    """What the client receives for one SQL request."""
+
+    sql: str
+    rows: list[dict]
+    payload_bytes: int
+    server_seconds: float
+    network_seconds: float
+    serialization_seconds: float
+    cache_level: str | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency contribution of this request."""
+        return self.server_seconds + self.network_seconds + self.serialization_seconds
+
+    @property
+    def from_cache(self) -> bool:
+        """Whether any cache level served this request."""
+        return self.cache_level is not None
+
+
+class MiddlewareServer:
+    """Simulated middleware tier.
+
+    Parameters
+    ----------
+    database:
+        The backend DBMS (our embedded SQL engine).
+    network:
+        Latency/bandwidth model of the client↔middleware link.
+    codec:
+        Result serialisation codec (Arrow-like binary by default).
+    enable_cache:
+        Turn the two-level cache of Section 5.5 on or off.
+    client_cache_entries / server_cache_entries / max_cached_result_bytes:
+        Cache sizing knobs.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        network: NetworkModel | None = None,
+        codec: Codec | None = None,
+        enable_cache: bool = True,
+        client_cache_entries: int = 32,
+        server_cache_entries: int = 128,
+        max_cached_result_bytes: int = 2_000_000,
+    ) -> None:
+        self.database = database
+        self.network = network or NetworkModel.lan()
+        self.codec = codec or ArrowCodec()
+        self.enable_cache = enable_cache
+        self.client_cache = QueryCache(
+            max_entries=client_cache_entries,
+            max_result_bytes=max_cached_result_bytes,
+            name="client",
+        )
+        self.server_cache = QueryCache(
+            max_entries=server_cache_entries,
+            max_result_bytes=max_cached_result_bytes,
+            name="server",
+        )
+        self.queries_executed = 0
+
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str) -> QueryResponse:
+        """Serve one SQL request from cache or by executing on the DBMS.
+
+        Lookup order follows the paper: client cache, then the middleware
+        cache (one round trip, tiny payload), then full DBMS execution.
+        """
+        if self.enable_cache:
+            client_hit = self.client_cache.get(sql)
+            if client_hit is not None:
+                return QueryResponse(
+                    sql=sql,
+                    rows=client_hit.rows,
+                    payload_bytes=client_hit.payload_bytes,
+                    server_seconds=0.0,
+                    network_seconds=0.0,
+                    serialization_seconds=0.0,
+                    cache_level="client",
+                )
+            server_hit = self.server_cache.get(sql)
+            if server_hit is not None:
+                transfer = self.network.transfer(server_hit.payload_bytes)
+                estimate = self.codec.estimate(server_hit.rows)
+                self.client_cache.put(sql, server_hit.rows, server_hit.payload_bytes)
+                return QueryResponse(
+                    sql=sql,
+                    rows=server_hit.rows,
+                    payload_bytes=server_hit.payload_bytes,
+                    server_seconds=0.0,
+                    network_seconds=transfer.seconds,
+                    serialization_seconds=estimate.decode_seconds,
+                    cache_level="server",
+                )
+
+        result = self.database.execute(sql)
+        self.queries_executed += 1
+        rows = result.to_rows()
+        estimate = self.codec.estimate(rows)
+        transfer = self.network.transfer(estimate.payload_bytes)
+        if self.enable_cache:
+            self.server_cache.put(sql, rows, estimate.payload_bytes)
+            self.client_cache.put(sql, rows, estimate.payload_bytes)
+        return QueryResponse(
+            sql=sql,
+            rows=rows,
+            payload_bytes=estimate.payload_bytes,
+            server_seconds=result.elapsed_seconds,
+            network_seconds=transfer.seconds,
+            serialization_seconds=estimate.encode_seconds + estimate.decode_seconds,
+            cache_level=None,
+        )
+
+    def reset_caches(self) -> None:
+        """Clear both cache levels (between benchmark sessions)."""
+        self.client_cache.clear()
+        self.server_cache.clear()
+
+    def cache_statistics(self) -> dict[str, object]:
+        """Summary of cache behaviour for reporting."""
+        return {
+            "client_hit_rate": self.client_cache.stats.hit_rate,
+            "server_hit_rate": self.server_cache.stats.hit_rate,
+            "client_entries": len(self.client_cache),
+            "server_entries": len(self.server_cache),
+            "queries_executed": self.queries_executed,
+        }

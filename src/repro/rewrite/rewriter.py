@@ -1,0 +1,345 @@
+"""Building rewritten dataflows for a client/server partitioning.
+
+Given a Vega specification and an *assignment* (for every data entry, how
+many of its leading transforms execute on the server), the
+:class:`SpecRewriter` constructs the corresponding dataflow:
+
+* server-assigned transform chains become :class:`VegaDBMSTransform` (VDT)
+  operators whose SQL batches the chain (including the server-assigned
+  prefix inherited from the parent entry),
+* ``extent`` transforms assigned to the server become their own VDT whose
+  output value is the ``[min, max]`` pair, because downstream operators
+  reference it as a signal (Example 4.1 in the paper),
+* remaining transforms run as ordinary client-side operators downstream of
+  the VDT (or of the client-side source when nothing is offloaded),
+* root data entries always fetch their rows through the middleware — in
+  VegaPlus the raw data lives in the DBMS, so an all-client plan still
+  pays the full data transfer once, exactly like loading the CSV into the
+  browser does for native Vega.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import OptimizationError, SpecError
+from repro.dataflow import Dataflow, Operator, create_transform
+from repro.dataflow.transforms import _convert_param
+from repro.net.middleware import MiddlewareServer
+from repro.rewrite.templates import transform_supports_sql
+from repro.rewrite.vdt import VegaDBMSTransform
+from repro.vega.spec import DataEntry, VegaSpec
+
+
+@dataclass
+class RewrittenDataflow:
+    """A compiled dataflow plus bookkeeping about its VDT operators."""
+
+    dataflow: Dataflow
+    vdts: list[VegaDBMSTransform] = field(default_factory=list)
+    assignment: dict[str, int] = field(default_factory=dict)
+
+    def server_seconds(self) -> float:
+        """Total DBMS execution time across all VDTs so far."""
+        return sum(vdt.cost_log.server_seconds for vdt in self.vdts)
+
+    def network_seconds(self) -> float:
+        """Total modelled network time across all VDTs so far."""
+        return sum(vdt.cost_log.network_seconds for vdt in self.vdts)
+
+    def serialization_seconds(self) -> float:
+        """Total modelled serialisation time across all VDTs so far."""
+        return sum(vdt.cost_log.serialization_seconds for vdt in self.vdts)
+
+    def bytes_transferred(self) -> int:
+        """Total payload bytes fetched from the server so far."""
+        return sum(vdt.cost_log.bytes_transferred for vdt in self.vdts)
+
+
+@dataclass
+class _EntryState:
+    """Per-entry bookkeeping while the rewriter walks the pipeline."""
+
+    tail: Operator
+    #: Transform definitions (from the base table) that produce this entry's
+    #: output on the server, or None when the output is client-side.
+    server_chain: list[dict] | None
+    #: Base table the server chain reads from.
+    table: str | None
+    #: Whether every declared transform of this entry ran on the server.
+    fully_server: bool
+
+
+class SpecRewriter:
+    """Builds dataflows for arbitrary client/server assignments of a spec."""
+
+    def __init__(self, spec: VegaSpec, middleware: MiddlewareServer) -> None:
+        self.spec = spec
+        self.middleware = middleware
+        self._operator_signals = spec.operator_signal_names()
+
+    # ------------------------------------------------------------------ #
+    def max_server_prefix(self, entry: DataEntry) -> int:
+        """Longest rewritable prefix of an entry's transform chain."""
+        prefix = 0
+        for transform in entry.transforms:
+            if not transform_supports_sql(transform.get("type", "")):
+                break
+            prefix += 1
+        return prefix
+
+    def validate_assignment(self, assignment: Mapping[str, int]) -> None:
+        """Check that ``assignment`` is a legal partitioning for this spec."""
+        states: dict[str, bool] = {}
+        for entry in self.spec.data:
+            split = int(assignment.get(entry.name, 0))
+            if split < 0 or split > len(entry.transforms):
+                raise OptimizationError(
+                    f"entry {entry.name!r}: split {split} out of range 0..{len(entry.transforms)}"
+                )
+            if split > self.max_server_prefix(entry):
+                raise OptimizationError(
+                    f"entry {entry.name!r}: transform {split - 1} is not rewritable to SQL"
+                )
+            if entry.source is not None and split > 0 and not states.get(entry.source, False):
+                raise OptimizationError(
+                    f"entry {entry.name!r} offloads transforms but its source "
+                    f"{entry.source!r} is not fully executed on the server"
+                )
+            if entry.source is None and entry.table is None and split > 0:
+                raise OptimizationError(
+                    f"entry {entry.name!r} has inline values and cannot be offloaded"
+                )
+            states[entry.name] = split == len(entry.transforms) and (
+                entry.source is None or states.get(entry.source, False)
+            )
+
+    def client_row_consumers(self, assignment: Mapping[str, int]) -> set[str]:
+        """Entries whose rows must be materialised on the client.
+
+        This is the dependency-checking step of Section 5.2: an entry's
+        rows are needed client-side when scales/marks reference it, or when
+        a child entry executes its transforms on the client (split 0) and
+        itself needs rows.  Entries outside this set that are fully pushed
+        to the server never transfer their rows to the browser.
+        """
+        referenced = self.spec.referenced_datasets()
+        needed: set[str] = set()
+        # Walk entries in reverse declaration order so children are decided
+        # before their parents.
+        for entry in reversed(self.spec.data):
+            split = int(assignment.get(entry.name, 0))
+            entry_needed = entry.name in referenced
+            for child in self.spec.data:
+                if child.source == entry.name and int(assignment.get(child.name, 0)) == 0 \
+                        and child.name in needed:
+                    entry_needed = True
+            if entry_needed:
+                needed.add(entry.name)
+            # An entry with client-side transforms needs its *input* rows,
+            # which is the parent's (or its own VDT's) concern, handled when
+            # the entry is built; the flag here is only about outputs.
+            del split
+        return needed
+
+    # ------------------------------------------------------------------ #
+    def build(self, assignment: Mapping[str, int]) -> RewrittenDataflow:
+        """Construct the dataflow implementing ``assignment``."""
+        self.validate_assignment(assignment)
+        dataflow = Dataflow()
+        for signal in self.spec.signals:
+            dataflow.declare_signal(signal.name, value=signal.value, bind=signal.bind)
+
+        vdts: list[VegaDBMSTransform] = []
+        states: dict[str, _EntryState] = {}
+        needed = self.client_row_consumers(assignment)
+
+        for entry in self.spec.data:
+            split = int(assignment.get(entry.name, 0))
+            state = self._build_entry(entry, split, dataflow, states, vdts, needed)
+            states[entry.name] = state
+            if state.tail is not None:
+                dataflow.mark_dataset(entry.name, state.tail)
+
+        return RewrittenDataflow(
+            dataflow=dataflow,
+            vdts=vdts,
+            assignment={e.name: int(assignment.get(e.name, 0)) for e in self.spec.data},
+        )
+
+    # ------------------------------------------------------------------ #
+    def _build_entry(
+        self,
+        entry: DataEntry,
+        split: int,
+        dataflow: Dataflow,
+        states: dict[str, _EntryState],
+        vdts: list[VegaDBMSTransform],
+        needed: set[str],
+    ) -> _EntryState:
+        entry_needed = entry.name in needed or split < len(entry.transforms)
+        if entry.source is not None:
+            parent = states[entry.source]
+            base_table = parent.table
+            inherited_chain = list(parent.server_chain or []) if parent.fully_server else None
+            upstream_tail: Operator | None = parent.tail
+        elif entry.values is not None:
+            source = dataflow.add_source(list(entry.values), name=f"data:{entry.name}")
+            return self._attach_client_transforms(
+                entry, entry.transforms, source, dataflow, table=None, server_chain=None
+            )
+        else:
+            base_table = entry.table
+            inherited_chain = []
+            upstream_tail = None
+
+        if split > 0 and (inherited_chain is None or base_table is None):
+            raise OptimizationError(
+                f"entry {entry.name!r} cannot offload transforms: its source data "
+                "is not available on the server"
+            )
+
+        if split == 0:
+            if not entry_needed and entry.name not in needed and not entry.transforms:
+                # Raw root entry that nothing on the client consumes: leave it
+                # on the server (children read the base table directly).
+                return _EntryState(
+                    tail=None,
+                    server_chain=list(inherited_chain) if inherited_chain is not None else None,
+                    table=base_table,
+                    fully_server=inherited_chain is not None,
+                )
+            if upstream_tail is None:
+                # Root entry executed on the client: fetch the raw table once
+                # through the middleware (the browser-load cost).
+                fetch = self._make_vdt(base_table, [], value_kind=None)
+                dataflow.add_operator(fetch, None, name=f"data:{entry.name}")
+                vdts.append(fetch)
+                upstream_tail = fetch
+            return self._attach_client_transforms(
+                entry,
+                entry.transforms,
+                upstream_tail,
+                dataflow,
+                table=base_table,
+                server_chain=list(inherited_chain) if inherited_chain is not None else None,
+            )
+
+        # --- server-assigned prefix -> one or more VDTs ------------------- #
+        server_defs = entry.transforms[:split]
+        client_defs = entry.transforms[split:]
+        row_chain: list[dict] = list(inherited_chain)
+        tail: Operator | None = None
+
+        for definition in server_defs:
+            exported_signal = definition.get("signal")
+            if definition.get("type") == "extent" and isinstance(exported_signal, str):
+                # The extent gets its own VDT: its output is a value consumed
+                # via signal-style references, not a row stream.
+                extent_vdt = self._make_vdt(
+                    base_table, row_chain + [definition], value_kind="extent"
+                )
+                dataflow.add_operator(extent_vdt, None, name=exported_signal)
+                vdts.append(extent_vdt)
+                continue
+            row_chain.append(definition)
+
+        rows_needed_on_client = bool(client_defs) or entry.name in needed
+        produced_rows_on_server = len(row_chain) > len(inherited_chain) or not client_defs
+        if produced_rows_on_server and not rows_needed_on_client:
+            # Fully offloaded and nothing on the client consumes the rows:
+            # expose the server chain to children without fetching anything.
+            return _EntryState(
+                tail=None,
+                server_chain=row_chain,
+                table=base_table,
+                fully_server=True,
+            )
+        if produced_rows_on_server:
+            main_vdt = self._make_vdt(base_table, row_chain, value_kind=None)
+            dataflow.add_operator(main_vdt, None, name=f"vdt:{entry.name}")
+            vdts.append(main_vdt)
+            tail = main_vdt
+        else:
+            # Only extents were offloaded; rows still come from the client side.
+            if upstream_tail is None:
+                fetch = self._make_vdt(base_table, [], value_kind=None)
+                dataflow.add_operator(fetch, None, name=f"data:{entry.name}")
+                vdts.append(fetch)
+                upstream_tail = fetch
+            tail = upstream_tail
+
+        state = self._attach_client_transforms(
+            entry,
+            client_defs,
+            tail,
+            dataflow,
+            table=base_table,
+            server_chain=row_chain,
+        )
+        state.fully_server = not client_defs
+        return state
+
+    def _attach_client_transforms(
+        self,
+        entry: DataEntry,
+        definitions: list[dict],
+        upstream: Operator,
+        dataflow: Dataflow,
+        table: str | None,
+        server_chain: list[dict] | None,
+    ) -> _EntryState:
+        current = upstream
+        for raw in definitions:
+            definition = self._rewrite_refs(raw)
+            exported_signal = definition.pop("signal", None)
+            operator = create_transform(definition)
+            name = exported_signal if isinstance(exported_signal, str) else None
+            dataflow.add_operator(operator, current, name=name)
+            current = operator
+        fully_server = not definitions and server_chain is not None
+        return _EntryState(
+            tail=current,
+            server_chain=server_chain if fully_server else None,
+            table=table,
+            fully_server=fully_server,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _make_vdt(
+        self, table: str | None, transforms: list[dict], value_kind: str | None
+    ) -> VegaDBMSTransform:
+        if table is None:
+            raise SpecError("cannot build a VDT without a backing table")
+        cleaned = [
+            {k: v for k, v in definition.items() if k != "signal"}
+            for definition in transforms
+        ]
+        resolved_params = [
+            _convert_param(self._rewrite_refs({k: v for k, v in definition.items() if k != "type"}))
+            for definition in cleaned
+        ]
+        return VegaDBMSTransform(
+            table=table,
+            transforms=cleaned,
+            middleware=self.middleware,
+            value_kind=value_kind,
+            params={"_resolved_transforms": resolved_params},
+        )
+
+    def _rewrite_refs(self, definition: dict) -> dict:
+        """Turn transform-produced signal refs into operator refs."""
+        def rewrite(value: object) -> object:
+            if isinstance(value, dict):
+                if set(value) == {"signal"} and value["signal"] in self._operator_signals:
+                    return {"operator": value["signal"]}
+                return {k: rewrite(v) for k, v in value.items()}
+            if isinstance(value, list):
+                return [rewrite(v) for v in value]
+            return value
+
+        return {
+            key: (value if key == "signal" else rewrite(value))
+            for key, value in definition.items()
+        }

@@ -1,0 +1,178 @@
+"""The `Database` facade: a DuckDB-like embedded SQL engine.
+
+This is the public entry point of :mod:`repro.sql`.  It owns a catalog of
+registered tables and runs the full pipeline (tokenize → parse → plan →
+optimise → execute) for each query, recording timing and row counts so the
+VegaPlus optimizer and the benchmark harness can observe server-side work.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.sql.executor import ExecutionStats, Executor
+from repro.sql.explain import CostEstimator, QueryCostEstimate
+from repro.sql.optimizer import optimize_plan
+from repro.sql.parser import parse_sql
+from repro.sql.planner import LogicalPlan, build_logical_plan
+from repro.storage.catalog import Catalog
+from repro.storage.statistics import TableStatistics
+from repro.storage.table import Table
+
+
+@dataclass
+class QueryResult:
+    """Result of executing one SQL query."""
+
+    sql: str
+    table: Table
+    elapsed_seconds: float
+    stats: ExecutionStats
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the result."""
+        return self.table.num_rows
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns in the result."""
+        return self.table.num_columns
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Result as a list of row dictionaries."""
+        return self.table.to_rows()
+
+    def to_columns(self) -> dict[str, list[object]]:
+        """Result as a mapping column -> values."""
+        return self.table.to_columns()
+
+    def result_bytes(self) -> int:
+        """Approximate size of the result payload, for transfer modelling."""
+        return self.table.nbytes()
+
+
+@dataclass
+class EngineMetrics:
+    """Cumulative engine-level metrics across all executed queries."""
+
+    queries_executed: int = 0
+    total_execution_seconds: float = 0.0
+    total_rows_returned: int = 0
+    query_log: list[str] = field(default_factory=list)
+
+    def record(self, result: QueryResult, keep_log: bool) -> None:
+        """Record one executed query."""
+        self.queries_executed += 1
+        self.total_execution_seconds += result.elapsed_seconds
+        self.total_rows_returned += result.num_rows
+        if keep_log:
+            self.query_log.append(result.sql)
+
+    def reset(self) -> None:
+        """Clear all counters (used between benchmark runs)."""
+        self.queries_executed = 0
+        self.total_execution_seconds = 0.0
+        self.total_rows_returned = 0
+        self.query_log.clear()
+
+
+class Database:
+    """An embedded, in-memory analytical SQL database.
+
+    Parameters
+    ----------
+    keep_query_log:
+        When True (default) the text of every executed query is kept in
+        :attr:`metrics` — handy for tests and for the caching layer.
+    """
+
+    def __init__(self, keep_query_log: bool = True) -> None:
+        self._catalog = Catalog()
+        self._keep_query_log = keep_query_log
+        self.metrics = EngineMetrics()
+
+    # ------------------------------------------------------------------ #
+    # Table registration
+    # ------------------------------------------------------------------ #
+    def register_table(self, name: str, table: Table, replace: bool = False) -> None:
+        """Register an existing :class:`Table` under ``name``."""
+        self._catalog.register(name, table, replace=replace)
+
+    def register_rows(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, object]],
+        replace: bool = False,
+        column_order: Sequence[str] | None = None,
+    ) -> None:
+        """Register a table created from row dictionaries."""
+        self._catalog.register_rows(name, rows, replace=replace, column_order=column_order)
+
+    def register_columns(
+        self, name: str, data: Mapping[str, Sequence[object]], replace: bool = False
+    ) -> None:
+        """Register a table created from a column mapping."""
+        self._catalog.register(name, Table.from_columns(data, name=name), replace=replace)
+
+    def drop_table(self, name: str) -> None:
+        """Remove a registered table."""
+        self._catalog.drop(name)
+
+    def table_names(self) -> list[str]:
+        """Names of registered tables."""
+        return self._catalog.table_names()
+
+    def table(self, name: str) -> Table:
+        """Return a registered table."""
+        return self._catalog.get(name)
+
+    def table_statistics(self, name: str) -> TableStatistics:
+        """Statistics for a registered table."""
+        return self._catalog.statistics(name)
+
+    @property
+    def catalog(self) -> Catalog:
+        """The underlying catalog (shared with the executor)."""
+        return self._catalog
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    def plan(self, sql: str) -> LogicalPlan:
+        """Parse and optimise ``sql`` without executing it."""
+        statement = parse_sql(sql)
+        return optimize_plan(build_logical_plan(statement))
+
+    def explain(self, sql: str) -> QueryCostEstimate:
+        """Return the cost estimate the engine's EXPLAIN would produce."""
+        plan = self.plan(sql.removeprefix("EXPLAIN ").removeprefix("explain "))
+        return CostEstimator(self._catalog).estimate(plan)
+
+    def execute(self, sql: str) -> QueryResult:
+        """Execute ``sql`` and return a :class:`QueryResult`.
+
+        ``EXPLAIN SELECT ...`` queries return a single-column table with
+        the textual plan instead of executing the query.
+        """
+        statement = parse_sql(sql)
+        plan = optimize_plan(build_logical_plan(statement))
+        if plan.explain:
+            estimate = CostEstimator(self._catalog).estimate(plan)
+            table = Table.from_columns({"plan": estimate.pretty().split("\n")})
+            result = QueryResult(sql=sql, table=table, elapsed_seconds=0.0, stats=ExecutionStats())
+            self.metrics.record(result, self._keep_query_log)
+            return result
+        executor = Executor(self._catalog)
+        start = time.perf_counter()
+        table, stats = executor.execute(plan)
+        elapsed = time.perf_counter() - start
+        result = QueryResult(sql=sql, table=table, elapsed_seconds=elapsed, stats=stats)
+        self.metrics.record(result, self._keep_query_log)
+        return result
+
+    def query_rows(self, sql: str) -> list[dict[str, object]]:
+        """Convenience wrapper returning the result rows directly."""
+        return self.execute(sql).to_rows()

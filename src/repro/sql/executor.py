@@ -1,0 +1,755 @@
+"""Physical execution of logical plans over columnar tables.
+
+The executor evaluates expressions in a vectorised fashion: every
+expression evaluates to a numpy array aligned with the input table's rows.
+Boolean results are float arrays holding 0.0/1.0/NaN, implementing SQL's
+three-valued logic (NaN = unknown); predicates keep only rows that evaluate
+to exactly 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    OrderItem,
+    SelectItem,
+    Star,
+    UnaryOp,
+    WindowFunction,
+    contains_aggregate,
+)
+from repro.sql.functions import (
+    AGGREGATE_KERNELS,
+    apply_aggregate,
+    apply_scalar_function,
+    is_string_array,
+    null_mask,
+)
+from repro.sql.planner import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    LimitNode,
+    LogicalPlan,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    SubqueryNode,
+    WindowNode,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column, ColumnType
+from repro.storage.table import Table
+
+
+# --------------------------------------------------------------------------- #
+# Execution statistics
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ExecutionStats:
+    """Per-query execution counters used by benchmarks and the optimizer."""
+
+    rows_scanned: int = 0
+    rows_output: int = 0
+    operators_executed: int = 0
+
+    def record(self, node_rows: int) -> None:
+        """Record one operator execution producing ``node_rows`` rows."""
+        self.operators_executed += 1
+        self.rows_output = node_rows
+
+
+# --------------------------------------------------------------------------- #
+# Expression evaluation
+# --------------------------------------------------------------------------- #
+
+
+def _broadcast_literal(value: object, n_rows: int) -> np.ndarray:
+    if value is None:
+        return np.full(n_rows, np.nan, dtype=np.float64)
+    if isinstance(value, bool):
+        return np.full(n_rows, 1.0 if value else 0.0, dtype=np.float64)
+    if isinstance(value, (int, float)):
+        return np.full(n_rows, float(value), dtype=np.float64)
+    out = np.empty(n_rows, dtype=object)
+    out[:] = value
+    return out
+
+
+def _compare_arrays(op: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Comparison with NULL-propagation, for both numeric and string arrays."""
+    n = len(left)
+    result = np.full(n, np.nan, dtype=np.float64)
+    if is_string_array(left) or is_string_array(right):
+        left_obj = left if is_string_array(left) else left.astype(object)
+        right_obj = right if is_string_array(right) else right.astype(object)
+        for i in range(n):
+            lv, rv = left_obj[i], right_obj[i]
+            if lv is None or rv is None or _is_nan(lv) or _is_nan(rv):
+                continue
+            result[i] = 1.0 if _compare_python(op, lv, rv) else 0.0
+        return result
+    valid = ~(np.isnan(left) | np.isnan(right))
+    lv = left[valid]
+    rv = right[valid]
+    if op == "=":
+        cmp = lv == rv
+    elif op == "<>":
+        cmp = lv != rv
+    elif op == "<":
+        cmp = lv < rv
+    elif op == "<=":
+        cmp = lv <= rv
+    elif op == ">":
+        cmp = lv > rv
+    elif op == ">=":
+        cmp = lv >= rv
+    else:  # pragma: no cover - parser restricts operators
+        raise ExecutionError(f"unsupported comparison operator {op!r}")
+    result[valid] = cmp.astype(np.float64)
+    return result
+
+
+def _is_nan(value: object) -> bool:
+    return isinstance(value, float) and np.isnan(value)
+
+
+def _compare_python(op: str, left: object, right: object) -> bool:
+    left_cmp, right_cmp = left, right
+    if isinstance(left, (int, float)) != isinstance(right, (int, float)):
+        left_cmp, right_cmp = str(left), str(right)
+    if op == "=":
+        return left_cmp == right_cmp
+    if op == "<>":
+        return left_cmp != right_cmp
+    if op == "<":
+        return left_cmp < right_cmp
+    if op == "<=":
+        return left_cmp <= right_cmp
+    if op == ">":
+        return left_cmp > right_cmp
+    if op == ">=":
+        return left_cmp >= right_cmp
+    raise ExecutionError(f"unsupported comparison operator {op!r}")
+
+
+def _logical_and(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    # Three-valued AND: false dominates, then unknown, then true.
+    result = np.full(len(left), np.nan, dtype=np.float64)
+    false_mask = (left == 0.0) | (right == 0.0)
+    true_mask = (left == 1.0) & (right == 1.0)
+    result[false_mask] = 0.0
+    result[true_mask] = 1.0
+    return result
+
+
+def _logical_or(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    result = np.full(len(left), np.nan, dtype=np.float64)
+    true_mask = (left == 1.0) | (right == 1.0)
+    false_mask = (left == 0.0) & (right == 0.0)
+    result[true_mask] = 1.0
+    result[false_mask] = 0.0
+    return result
+
+
+def _like_to_bool(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    import fnmatch
+
+    n = len(left)
+    result = np.full(n, np.nan, dtype=np.float64)
+    left_obj = left if is_string_array(left) else left.astype(object)
+    right_obj = right if is_string_array(right) else right.astype(object)
+    for i in range(n):
+        value, pattern = left_obj[i], right_obj[i]
+        if value is None or pattern is None:
+            continue
+        glob = str(pattern).replace("%", "*").replace("_", "?")
+        result[i] = 1.0 if fnmatch.fnmatch(str(value), glob) else 0.0
+    return result
+
+
+class ExpressionEvaluator:
+    """Vectorised evaluator of expressions against a table.
+
+    ``alias_values`` optionally maps output aliases to already-computed
+    arrays, which lets GROUP BY / ORDER BY refer to SELECT-list aliases.
+    """
+
+    def __init__(self, table: Table, alias_values: dict[str, np.ndarray] | None = None) -> None:
+        self._table = table
+        self._aliases = alias_values or {}
+
+    def evaluate(self, expr: Expression) -> np.ndarray:
+        """Evaluate ``expr`` to an array aligned with the table's rows."""
+        n = self._table.num_rows
+        if isinstance(expr, Literal):
+            return _broadcast_literal(expr.value, n)
+        if isinstance(expr, ColumnRef):
+            return self._column_values(expr.name)
+        if isinstance(expr, Star):
+            raise ExecutionError("'*' is only valid directly in the SELECT list or COUNT(*)")
+        if isinstance(expr, UnaryOp):
+            return self._evaluate_unary(expr)
+        if isinstance(expr, BinaryOp):
+            return self._evaluate_binary(expr)
+        if isinstance(expr, FunctionCall):
+            return self._evaluate_function(expr)
+        if isinstance(expr, CaseExpression):
+            return self._evaluate_case(expr)
+        if isinstance(expr, InList):
+            return self._evaluate_in(expr)
+        if isinstance(expr, IsNull):
+            return self._evaluate_is_null(expr)
+        if isinstance(expr, Between):
+            return self._evaluate_between(expr)
+        if isinstance(expr, WindowFunction):
+            raise ExecutionError("window functions must be evaluated by WindowNode")
+        raise ExecutionError(f"cannot evaluate expression {expr!r}")
+
+    # -------------------------------------------------------------- #
+    def _column_values(self, name: str) -> np.ndarray:
+        if self._table.has_column(name):
+            return self._table.column(name).values
+        if name in self._aliases:
+            return self._aliases[name]
+        raise ExecutionError(
+            f"unknown column {name!r}; available: {self._table.column_names()}"
+        )
+
+    def _evaluate_unary(self, expr: UnaryOp) -> np.ndarray:
+        operand = self.evaluate(expr.operand)
+        if expr.op == "-":
+            if is_string_array(operand):
+                raise ExecutionError("cannot negate a string expression")
+            return -operand
+        if expr.op.upper() == "NOT":
+            result = np.full(len(operand), np.nan, dtype=np.float64)
+            result[operand == 1.0] = 0.0
+            result[operand == 0.0] = 1.0
+            return result
+        raise ExecutionError(f"unsupported unary operator {expr.op!r}")
+
+    def _evaluate_binary(self, expr: BinaryOp) -> np.ndarray:
+        op = expr.op.upper()
+        left = self.evaluate(expr.left)
+        right = self.evaluate(expr.right)
+        if op == "AND":
+            return _logical_and(left, right)
+        if op == "OR":
+            return _logical_or(left, right)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return _compare_arrays(op, left, right)
+        if op == "LIKE":
+            return _like_to_bool(left, right)
+        if op == "||":
+            return self._concat(left, right)
+        return self._arithmetic(op, left, right)
+
+    @staticmethod
+    def _concat(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        n = len(left)
+        out = np.empty(n, dtype=object)
+        left_obj = left if is_string_array(left) else left.astype(object)
+        right_obj = right if is_string_array(right) else right.astype(object)
+        for i in range(n):
+            lv, rv = left_obj[i], right_obj[i]
+            if lv is None or rv is None or _is_nan(lv) or _is_nan(rv):
+                out[i] = None
+            else:
+                out[i] = f"{lv}{rv}"
+        return out
+
+    @staticmethod
+    def _arithmetic(op: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        if is_string_array(left) or is_string_array(right):
+            raise ExecutionError(f"arithmetic operator {op!r} requires numeric operands")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if op == "+":
+                result = left + right
+            elif op == "-":
+                result = left - right
+            elif op == "*":
+                result = left * right
+            elif op == "/":
+                result = left / right
+                result[np.isinf(result)] = np.nan
+            elif op == "%":
+                result = np.mod(left, right)
+                result[np.isinf(result)] = np.nan
+            else:
+                raise ExecutionError(f"unsupported binary operator {op!r}")
+        return result
+
+    def _evaluate_function(self, expr: FunctionCall) -> np.ndarray:
+        name = expr.name.upper()
+        if name in AGGREGATE_KERNELS:
+            raise ExecutionError(
+                f"aggregate function {name} cannot be evaluated per-row; "
+                "it must appear in an aggregate query"
+            )
+        args = [self.evaluate(arg) for arg in expr.args]
+        return apply_scalar_function(name, args)
+
+    def _evaluate_case(self, expr: CaseExpression) -> np.ndarray:
+        n = self._table.num_rows
+        branch_values = [
+            (self.evaluate(cond), self.evaluate(value)) for cond, value in expr.whens
+        ]
+        default = (
+            self.evaluate(expr.default)
+            if expr.default is not None
+            else _broadcast_literal(None, n)
+        )
+        any_string = is_string_array(default) or any(
+            is_string_array(v) for _, v in branch_values
+        )
+        if any_string:
+            out = np.empty(n, dtype=object)
+            default_obj = default if is_string_array(default) else default.astype(object)
+            out[:] = [None if _is_nan(v) else v for v in default_obj]
+            taken = np.zeros(n, dtype=bool)
+            for cond, value in branch_values:
+                value_obj = value if is_string_array(value) else value.astype(object)
+                select = (cond == 1.0) & ~taken
+                for i in np.where(select)[0]:
+                    v = value_obj[i]
+                    out[i] = None if _is_nan(v) else v
+                taken |= select
+            return out
+        out = default.astype(np.float64, copy=True)
+        taken = np.zeros(n, dtype=bool)
+        for cond, value in branch_values:
+            select = (cond == 1.0) & ~taken
+            out[select] = value[select]
+            taken |= select
+        return out
+
+    def _evaluate_in(self, expr: InList) -> np.ndarray:
+        values = self.evaluate(expr.expr)
+        candidates = [self.evaluate(v) for v in expr.values]
+        n = len(values)
+        result = np.zeros(n, dtype=np.float64)
+        nulls = null_mask(values)
+        for candidate in candidates:
+            result = np.maximum(result, _compare_arrays("=", values, candidate))
+        result = np.where(nulls, np.nan, result)
+        if expr.negated:
+            flipped = np.full(n, np.nan, dtype=np.float64)
+            flipped[result == 1.0] = 0.0
+            flipped[result == 0.0] = 1.0
+            return flipped
+        return result
+
+    def _evaluate_is_null(self, expr: IsNull) -> np.ndarray:
+        values = self.evaluate(expr.expr)
+        mask = null_mask(values)
+        if expr.negated:
+            return (~mask).astype(np.float64)
+        return mask.astype(np.float64)
+
+    def _evaluate_between(self, expr: Between) -> np.ndarray:
+        value = self.evaluate(expr.expr)
+        low = self.evaluate(expr.low)
+        high = self.evaluate(expr.high)
+        ge = _compare_arrays(">=", value, low)
+        le = _compare_arrays("<=", value, high)
+        result = _logical_and(ge, le)
+        if expr.negated:
+            flipped = np.full(len(result), np.nan, dtype=np.float64)
+            flipped[result == 1.0] = 0.0
+            flipped[result == 0.0] = 1.0
+            return flipped
+        return result
+
+
+def _array_to_column(name: str, values: np.ndarray) -> Column:
+    if is_string_array(values):
+        return Column(name, values, ColumnType.STRING)
+    return Column(name, values.astype(np.float64, copy=False), ColumnType.NUMERIC)
+
+
+# --------------------------------------------------------------------------- #
+# Plan execution
+# --------------------------------------------------------------------------- #
+
+
+class Executor:
+    """Executes logical plans against a :class:`Catalog`."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+
+    def execute(self, plan: LogicalPlan) -> tuple[Table, ExecutionStats]:
+        """Execute ``plan`` and return the result table plus statistics."""
+        stats = ExecutionStats()
+        table = self._execute_node(plan.root, stats)
+        stats.rows_output = table.num_rows
+        return table, stats
+
+    # -------------------------------------------------------------- #
+    def _execute_node(self, node: PlanNode, stats: ExecutionStats) -> Table:
+        if isinstance(node, ScanNode):
+            table = self._catalog.get(node.table_name)
+            stats.rows_scanned += table.num_rows
+            stats.record(table.num_rows)
+            return table
+        if isinstance(node, SubqueryNode):
+            table = self._execute_node(node.plan, stats)
+            stats.record(table.num_rows)
+            return table
+        if isinstance(node, FilterNode):
+            return self._execute_filter(node, stats)
+        if isinstance(node, ProjectNode):
+            return self._execute_project(node, stats)
+        if isinstance(node, AggregateNode):
+            return self._execute_aggregate(node, stats)
+        if isinstance(node, WindowNode):
+            return self._execute_window(node, stats)
+        if isinstance(node, SortNode):
+            return self._execute_sort(node, stats)
+        if isinstance(node, LimitNode):
+            return self._execute_limit(node, stats)
+        if isinstance(node, DistinctNode):
+            return self._execute_distinct(node, stats)
+        raise ExecutionError(f"unsupported plan node {type(node).__name__}")
+
+    def _execute_filter(self, node: FilterNode, stats: ExecutionStats) -> Table:
+        table = self._execute_node(node.child, stats)
+        evaluator = ExpressionEvaluator(table)
+        mask_values = evaluator.evaluate(node.predicate)
+        mask = mask_values == 1.0
+        result = table.filter(mask)
+        stats.record(result.num_rows)
+        return result
+
+    def _execute_project(self, node: ProjectNode, stats: ExecutionStats) -> Table:
+        table = self._execute_node(node.child, stats)
+        evaluator = ExpressionEvaluator(table)
+        columns: list[Column] = []
+        used_names: set[str] = set()
+        for index, item in enumerate(node.items):
+            if isinstance(item.expression, Star):
+                for col in table.columns():
+                    if col.name not in used_names:
+                        columns.append(col)
+                        used_names.add(col.name)
+                continue
+            name = item.output_name(index)
+            if isinstance(item.expression, WindowFunction):
+                # Window columns were already materialised by WindowNode
+                # under the item's output name.
+                values = table.column(name).values
+            else:
+                values = evaluator.evaluate(item.expression)
+            if name in used_names:
+                name = f"{name}_{index}"
+            columns.append(_array_to_column(name, values))
+            used_names.add(name)
+        result = Table(columns, name=table.name)
+        stats.record(result.num_rows)
+        return result
+
+    def _execute_aggregate(self, node: AggregateNode, stats: ExecutionStats) -> Table:
+        table = self._execute_node(node.child, stats)
+        evaluator = ExpressionEvaluator(table)
+
+        # Pre-compute SELECT-item expressions that group-by keys may alias.
+        alias_arrays: dict[str, np.ndarray] = {}
+        for index, item in enumerate(node.items):
+            if item.alias and not contains_aggregate(item.expression) and not isinstance(
+                item.expression, (Star, WindowFunction)
+            ):
+                try:
+                    alias_arrays[item.alias] = evaluator.evaluate(item.expression)
+                except ExecutionError:
+                    continue
+        evaluator = ExpressionEvaluator(table, alias_values=alias_arrays)
+
+        group_arrays = [evaluator.evaluate(expr) for expr in node.group_by]
+        n = table.num_rows
+
+        if group_arrays:
+            group_indices = self._group_rows(group_arrays, n)
+        else:
+            group_indices = {(): np.arange(n)} if n >= 0 else {}
+
+        output_names: list[str] = []
+        output_values: list[list[object]] = []
+        for index, item in enumerate(node.items):
+            output_names.append(item.output_name(index))
+            output_values.append([])
+
+        sorted_groups = sorted(group_indices.items(), key=lambda kv: _group_sort_key(kv[0]))
+        for key, indices in sorted_groups:
+            subset = table.take(indices)
+            sub_evaluator = ExpressionEvaluator(
+                subset,
+                alias_values={k: v[indices] for k, v in alias_arrays.items()},
+            )
+            for item_index, item in enumerate(node.items):
+                value = self._aggregate_item(item, sub_evaluator, subset)
+                output_values[item_index].append(value)
+
+        columns = [
+            Column.from_values(name, values)
+            for name, values in zip(output_names, output_values)
+        ]
+        result = Table(columns, name=table.name)
+        stats.record(result.num_rows)
+        return result
+
+    @staticmethod
+    def _group_rows(group_arrays: list[np.ndarray], n: int) -> dict[tuple, np.ndarray]:
+        keys: dict[tuple, list[int]] = {}
+        normalised: list[list[object]] = []
+        for arr in group_arrays:
+            if is_string_array(arr):
+                normalised.append([None if v is None else v for v in arr])
+            else:
+                normalised.append(
+                    [None if np.isnan(v) else float(v) for v in arr]
+                )
+        for i in range(n):
+            key = tuple(col[i] for col in normalised)
+            keys.setdefault(key, []).append(i)
+        return {key: np.array(idx, dtype=np.int64) for key, idx in keys.items()}
+
+    def _aggregate_item(
+        self,
+        item: SelectItem,
+        evaluator: ExpressionEvaluator,
+        subset: Table,
+    ) -> object:
+        expr = item.expression
+        return self._evaluate_aggregate_expression(expr, evaluator, subset)
+
+    def _evaluate_aggregate_expression(
+        self,
+        expr: Expression,
+        evaluator: ExpressionEvaluator,
+        subset: Table,
+    ) -> object:
+        if isinstance(expr, FunctionCall) and expr.name.upper() in AGGREGATE_KERNELS:
+            if expr.is_star:
+                return float(subset.num_rows)
+            if not expr.args:
+                raise ExecutionError(f"aggregate {expr.name} requires an argument")
+            values = evaluator.evaluate(expr.args[0])
+            return apply_aggregate(expr.name, values, expr.distinct)
+        if isinstance(expr, BinaryOp):
+            left = self._evaluate_aggregate_expression(expr.left, evaluator, subset)
+            right = self._evaluate_aggregate_expression(expr.right, evaluator, subset)
+            return _combine_scalar(expr.op, left, right)
+        if isinstance(expr, UnaryOp) and expr.op == "-":
+            value = self._evaluate_aggregate_expression(expr.operand, evaluator, subset)
+            return None if value is None else -float(value)
+        if isinstance(expr, Literal):
+            return expr.value
+        # Non-aggregate expression inside a group: all rows share the value,
+        # so evaluate per-row and take the first entry.
+        values = evaluator.evaluate(expr)
+        if len(values) == 0:
+            return None
+        value = values[0]
+        if is_string_array(values):
+            return value
+        return None if np.isnan(value) else float(value)
+
+    def _execute_window(self, node: WindowNode, stats: ExecutionStats) -> Table:
+        table = self._execute_node(node.child, stats)
+        result = table
+        for output_name, window in node.windows:
+            values = self._evaluate_window(window, result)
+            result = result.with_column(_array_to_column(output_name, values))
+        stats.record(result.num_rows)
+        return result
+
+    def _evaluate_window(self, window: WindowFunction, table: Table) -> np.ndarray:
+        evaluator = ExpressionEvaluator(table)
+        n = table.num_rows
+        partition_arrays = [evaluator.evaluate(e) for e in window.partition_by]
+        if partition_arrays:
+            partitions = self._group_rows(partition_arrays, n)
+        else:
+            partitions = {(): np.arange(n)}
+
+        order_keys = window.order_by
+        func = window.function
+        name = func.name.upper()
+        out = np.full(n, np.nan, dtype=np.float64)
+
+        for _, indices in partitions.items():
+            subset = table.take(indices)
+            sub_eval = ExpressionEvaluator(subset)
+            if order_keys:
+                sort_order = _sort_indices(sub_eval, subset, order_keys)
+            else:
+                sort_order = np.arange(len(indices))
+            ordered_global = indices[sort_order]
+
+            if name == "ROW_NUMBER":
+                out[ordered_global] = np.arange(1, len(indices) + 1, dtype=np.float64)
+                continue
+            if name == "RANK":
+                out[ordered_global] = self._rank_values(sub_eval, subset, order_keys, sort_order)
+                continue
+
+            if func.is_star:
+                arg_values = np.ones(len(indices), dtype=np.float64)
+            elif func.args:
+                arg_values = sub_eval.evaluate(func.args[0])
+            else:
+                raise ExecutionError(f"window function {name} requires an argument")
+            if is_string_array(arg_values):
+                raise ExecutionError(f"window function {name} requires numeric input")
+            ordered_values = arg_values[sort_order]
+
+            if order_keys:
+                # Running (cumulative) aggregate in frame ROWS UNBOUNDED PRECEDING.
+                filled = np.where(np.isnan(ordered_values), 0.0, ordered_values)
+                if name == "SUM":
+                    cumulative = np.cumsum(filled)
+                elif name == "COUNT":
+                    cumulative = np.cumsum((~np.isnan(ordered_values)).astype(np.float64))
+                elif name == "AVG":
+                    counts = np.cumsum((~np.isnan(ordered_values)).astype(np.float64))
+                    counts[counts == 0.0] = np.nan
+                    cumulative = np.cumsum(filled) / counts
+                elif name == "MIN":
+                    cumulative = np.minimum.accumulate(
+                        np.where(np.isnan(ordered_values), np.inf, ordered_values)
+                    )
+                    cumulative[np.isinf(cumulative)] = np.nan
+                elif name == "MAX":
+                    cumulative = np.maximum.accumulate(
+                        np.where(np.isnan(ordered_values), -np.inf, ordered_values)
+                    )
+                    cumulative[np.isinf(cumulative)] = np.nan
+                else:
+                    raise ExecutionError(f"unsupported window function {name}")
+                out[ordered_global] = cumulative
+            else:
+                total = apply_aggregate(name, ordered_values)
+                out[ordered_global] = np.nan if total is None else float(total)
+        return out
+
+    @staticmethod
+    def _rank_values(
+        evaluator: ExpressionEvaluator,
+        subset: Table,
+        order_keys: tuple[OrderItem, ...],
+        sort_order: np.ndarray,
+    ) -> np.ndarray:
+        if not order_keys:
+            return np.ones(len(sort_order), dtype=np.float64)
+        key_arrays = [evaluator.evaluate(k.expression) for k in order_keys]
+        ranks = np.empty(len(sort_order), dtype=np.float64)
+        previous_key: tuple | None = None
+        current_rank = 0
+        for position, idx in enumerate(sort_order):
+            key = tuple(
+                arr[idx] if is_string_array(arr) else float(arr[idx])
+                for arr in key_arrays
+            )
+            if key != previous_key:
+                current_rank = position + 1
+                previous_key = key
+            ranks[position] = current_rank
+        return ranks
+
+    def _execute_sort(self, node: SortNode, stats: ExecutionStats) -> Table:
+        table = self._execute_node(node.child, stats)
+        evaluator = ExpressionEvaluator(table)
+        order = _sort_indices(evaluator, table, node.keys)
+        result = table.take(order)
+        stats.record(result.num_rows)
+        return result
+
+    def _execute_limit(self, node: LimitNode, stats: ExecutionStats) -> Table:
+        table = self._execute_node(node.child, stats)
+        offset = node.offset or 0
+        result = table.slice(offset, node.limit)
+        stats.record(result.num_rows)
+        return result
+
+    def _execute_distinct(self, node: DistinctNode, stats: ExecutionStats) -> Table:
+        table = self._execute_node(node.child, stats)
+        rows = table.to_rows()
+        seen: set[tuple] = set()
+        keep: list[int] = []
+        for index, row in enumerate(rows):
+            key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+            if key not in seen:
+                seen.add(key)
+                keep.append(index)
+        result = table.take(np.array(keep, dtype=np.int64))
+        stats.record(result.num_rows)
+        return result
+
+
+def _group_sort_key(key: tuple) -> tuple:
+    """Deterministic ordering of group keys with mixed types and NULLs."""
+    normalised = []
+    for value in key:
+        if value is None:
+            normalised.append((2, ""))
+        elif isinstance(value, (int, float)):
+            normalised.append((0, float(value)))
+        else:
+            normalised.append((1, str(value)))
+    return tuple(normalised)
+
+
+def _sort_indices(
+    evaluator: ExpressionEvaluator, table: Table, keys: tuple[OrderItem, ...]
+) -> np.ndarray:
+    """Stable multi-key sort returning row indices."""
+    order = np.arange(table.num_rows)
+    # numpy lexsort-style: apply keys from least to most significant.
+    for key in reversed(keys):
+        values = evaluator.evaluate(key.expression)[order]
+        if is_string_array(values):
+            sortable = np.array(
+                [("" if v is None else str(v)) for v in values], dtype=object
+            )
+            positions = np.argsort(sortable, kind="stable")
+        else:
+            sortable = np.where(np.isnan(values), np.inf, values)
+            positions = np.argsort(sortable, kind="stable")
+        if key.descending:
+            positions = positions[::-1]
+        order = order[positions]
+    return order
+
+
+def _combine_scalar(op: str, left: object, right: object) -> object:
+    if left is None or right is None:
+        return None
+    lv, rv = float(left), float(right)
+    if op == "+":
+        return lv + rv
+    if op == "-":
+        return lv - rv
+    if op == "*":
+        return lv * rv
+    if op == "/":
+        return None if rv == 0 else lv / rv
+    if op == "%":
+        return None if rv == 0 else lv % rv
+    raise ExecutionError(f"unsupported operator {op!r} over aggregate results")

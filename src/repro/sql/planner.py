@@ -1,0 +1,351 @@
+"""Logical query plans.
+
+The planner turns a parsed :class:`~repro.sql.ast_nodes.SelectStatement`
+into a tree of logical operators.  The tree is intentionally simple — the
+SQL subset has a single table source per query level — so plans are a chain
+(Scan → Filter → Window → Aggregate/Project → Having → Distinct → Sort →
+Limit) with nesting only through sub-query sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanningError
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    SubquerySource,
+    TableSource,
+    UnaryOp,
+    WindowFunction,
+    contains_aggregate,
+    contains_window,
+    referenced_columns,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Plan node definitions
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class PlanNode:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> list["PlanNode"]:
+        """Child nodes (empty for leaves)."""
+        return []
+
+    def label(self) -> str:
+        """Short human-readable label used by EXPLAIN output."""
+        return type(self).__name__
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Scan of a registered base table."""
+
+    table_name: str
+    alias: str | None = None
+
+    def label(self) -> str:
+        return f"Scan({self.table_name})"
+
+
+@dataclass
+class SubqueryNode(PlanNode):
+    """A nested query acting as this query's source."""
+
+    plan: PlanNode
+    alias: str | None = None
+
+    def children(self) -> list[PlanNode]:
+        return [self.plan]
+
+    def label(self) -> str:
+        return "Subquery"
+
+
+@dataclass
+class FilterNode(PlanNode):
+    """Row filter (WHERE or HAVING)."""
+
+    child: PlanNode
+    predicate: Expression
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Filter({self.predicate})"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Computation of the SELECT list for non-aggregate queries."""
+
+    child: PlanNode
+    items: tuple[SelectItem, ...]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return "Project(" + ", ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Grouped (or global) aggregation computing the SELECT list."""
+
+    child: PlanNode
+    group_by: tuple[Expression, ...]
+    items: tuple[SelectItem, ...]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        keys = ", ".join(str(e) for e in self.group_by) or "<global>"
+        return f"Aggregate(by=[{keys}])"
+
+
+@dataclass
+class WindowNode(PlanNode):
+    """Evaluation of window functions, appending one column per function."""
+
+    child: PlanNode
+    windows: tuple[tuple[str, WindowFunction], ...]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Window(n={len(self.windows)})"
+
+
+@dataclass
+class SortNode(PlanNode):
+    """ORDER BY."""
+
+    child: PlanNode
+    keys: tuple[OrderItem, ...]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return "Sort(" + ", ".join(str(k) for k in self.keys) + ")"
+
+
+@dataclass
+class LimitNode(PlanNode):
+    """LIMIT/OFFSET."""
+
+    child: PlanNode
+    limit: int | None = None
+    offset: int | None = None
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Limit(limit={self.limit}, offset={self.offset})"
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    """SELECT DISTINCT de-duplication."""
+
+    child: PlanNode
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class LogicalPlan:
+    """Wrapper pairing the root node with the originating statement."""
+
+    root: PlanNode
+    statement: SelectStatement
+    explain: bool = False
+
+    def pretty(self) -> str:
+        """Indented text rendering of the plan tree."""
+        lines: list[str] = []
+        _render(self.root, 0, lines)
+        return "\n".join(lines)
+
+
+def _render(node: PlanNode, depth: int, lines: list[str]) -> None:
+    lines.append("  " * depth + node.label())
+    for child in node.children():
+        _render(child, depth + 1, lines)
+
+
+# --------------------------------------------------------------------------- #
+# Statement -> logical plan
+# --------------------------------------------------------------------------- #
+
+
+def build_logical_plan(statement: SelectStatement) -> LogicalPlan:
+    """Construct the logical plan for a parsed statement."""
+    root = _plan_query(statement)
+    return LogicalPlan(root=root, statement=statement, explain=statement.explain)
+
+
+def _plan_query(statement: SelectStatement) -> PlanNode:
+    node = _plan_source(statement)
+
+    if statement.where is not None:
+        if contains_aggregate(statement.where):
+            raise PlanningError("aggregate functions are not allowed in WHERE")
+        node = FilterNode(child=node, predicate=statement.where)
+
+    window_items = _collect_windows(statement.items)
+    if window_items:
+        node = WindowNode(child=node, windows=tuple(window_items))
+
+    has_aggregate = bool(statement.group_by) or any(
+        contains_aggregate(item.expression) for item in statement.items
+    )
+
+    sorted_below_projection = False
+    if has_aggregate:
+        _validate_aggregate_items(statement)
+        node = AggregateNode(
+            child=node,
+            group_by=statement.group_by,
+            items=statement.items,
+        )
+    else:
+        # Standard SQL lets ORDER BY reference input columns that the SELECT
+        # list drops.  When that happens (and no '*' keeps them around), sort
+        # before projecting so the keys are still available.
+        if statement.order_by and not statement.distinct:
+            output_names = {
+                item.output_name(index) for index, item in enumerate(statement.items)
+            }
+            has_star = any(isinstance(item.expression, Star) for item in statement.items)
+            needs_input_columns = not has_star and any(
+                not referenced_columns(key.expression) <= output_names
+                for key in statement.order_by
+            )
+            if needs_input_columns:
+                node = SortNode(child=node, keys=statement.order_by)
+                sorted_below_projection = True
+        node = ProjectNode(child=node, items=statement.items)
+
+    if statement.having is not None:
+        if not has_aggregate:
+            raise PlanningError("HAVING requires GROUP BY or aggregates")
+        node = FilterNode(
+            child=node,
+            predicate=_rewrite_having(statement.having, statement.items),
+        )
+
+    if statement.distinct:
+        node = DistinctNode(child=node)
+
+    if statement.order_by and not sorted_below_projection:
+        node = SortNode(child=node, keys=statement.order_by)
+
+    if statement.limit is not None or statement.offset is not None:
+        node = LimitNode(child=node, limit=statement.limit, offset=statement.offset)
+
+    return node
+
+
+def _plan_source(statement: SelectStatement) -> PlanNode:
+    source = statement.source
+    if isinstance(source, TableSource):
+        return ScanNode(table_name=source.name, alias=source.alias)
+    if isinstance(source, SubquerySource):
+        return SubqueryNode(plan=_plan_query(source.query), alias=source.alias)
+    raise PlanningError(f"unsupported FROM source: {source!r}")
+
+
+def _collect_windows(items: tuple[SelectItem, ...]) -> list[tuple[str, WindowFunction]]:
+    windows: list[tuple[str, WindowFunction]] = []
+    for index, item in enumerate(items):
+        expr = item.expression
+        if isinstance(expr, WindowFunction):
+            windows.append((item.output_name(index), expr))
+        elif contains_window(expr) and not isinstance(expr, WindowFunction):
+            raise PlanningError(
+                "window functions may only appear as a top-level SELECT item"
+            )
+    return windows
+
+
+def _validate_aggregate_items(statement: SelectStatement) -> None:
+    """Ensure non-aggregate SELECT items appear in GROUP BY."""
+    group_exprs = {str(e) for e in statement.group_by}
+    group_names = {
+        e.name for e in statement.group_by if isinstance(e, ColumnRef)
+    }
+    for item in statement.items:
+        expr = item.expression
+        if isinstance(expr, Star):
+            raise PlanningError("SELECT * cannot be combined with GROUP BY/aggregates")
+        if contains_aggregate(expr) or isinstance(expr, WindowFunction):
+            continue
+        if str(expr) in group_exprs:
+            continue
+        if isinstance(expr, ColumnRef) and expr.name in group_names:
+            continue
+        if item.alias is not None and item.alias in {
+            e.name for e in statement.group_by if isinstance(e, ColumnRef)
+        }:
+            continue
+        # Expressions that exactly match a group-by expression by structure
+        # were covered above; anything else is an error just as in a real
+        # SQL engine.
+        raise PlanningError(
+            f"SELECT item {item} must be an aggregate or appear in GROUP BY"
+        )
+
+
+def _rewrite_having(predicate: Expression, items: tuple[SelectItem, ...]) -> Expression:
+    """Replace aggregate expressions in HAVING with their output columns.
+
+    ``HAVING COUNT(*) > 1`` executes against the aggregate's output table,
+    where the aggregate value lives in a named column.  Any sub-expression
+    of the HAVING predicate that matches a SELECT item (structurally, via
+    its string form) is replaced by a reference to that item's output name.
+    A HAVING aggregate that does not appear in the SELECT list is rejected.
+    """
+    replacements = {
+        str(item.expression): ColumnRef(item.output_name(index))
+        for index, item in enumerate(items)
+        if not isinstance(item.expression, Star)
+    }
+
+    def rewrite(expr: Expression) -> Expression:
+        key = str(expr)
+        if key in replacements:
+            return replacements[key]
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, rewrite(expr.operand))
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+        if contains_aggregate(expr):
+            raise PlanningError(
+                f"HAVING expression {expr} must also appear in the SELECT list"
+            )
+        return expr
+
+    return rewrite(predicate)
+
+
+def plan_cardinality_hint(node: PlanNode) -> str:
+    """Describe the node type for cost estimation grouping."""
+    return type(node).__name__

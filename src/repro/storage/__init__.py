@@ -1,0 +1,22 @@
+"""Columnar in-memory storage substrate used by the SQL engine.
+
+The paper's server side is a relational DBMS (PostgreSQL or DuckDB).  This
+package provides the storage layer for our in-process substitute: columnar
+tables backed by numpy arrays, a catalog mapping names to tables, and basic
+per-column statistics used for cost estimation (``EXPLAIN``).
+"""
+
+from repro.storage.column import Column, ColumnType
+from repro.storage.table import Table
+from repro.storage.catalog import Catalog
+from repro.storage.statistics import ColumnStatistics, TableStatistics, compute_table_statistics
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Table",
+    "Catalog",
+    "ColumnStatistics",
+    "TableStatistics",
+    "compute_table_statistics",
+]

@@ -1,0 +1,141 @@
+"""Typed columns backed by numpy arrays.
+
+Columns are the unit of storage in the SQL engine.  Numeric columns use
+float64 arrays with ``nan`` encoding SQL ``NULL``; string columns use
+object arrays with ``None`` encoding ``NULL``.  Boolean columns are stored
+as float64 (0.0/1.0/nan) so that three-valued logic composes with the
+numeric kernels.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class ColumnType(enum.Enum):
+    """Storage type of a column."""
+
+    NUMERIC = "numeric"
+    STRING = "string"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _is_missing(value: object) -> bool:
+    if value is None:
+        return True
+    if isinstance(value, float) and np.isnan(value):
+        return True
+    return False
+
+
+def infer_column_type(values: Iterable[object]) -> ColumnType:
+    """Infer the storage type from a sample of Python values.
+
+    A column is numeric when every non-null value is an ``int``, ``float``
+    or ``bool``; otherwise it is stored as strings/objects.
+    """
+    for value in values:
+        if _is_missing(value):
+            continue
+        if not isinstance(value, (int, float, bool, np.integer, np.floating)):
+            return ColumnType.STRING
+    return ColumnType.NUMERIC
+
+
+class Column:
+    """A named, typed, immutable column of values.
+
+    Parameters
+    ----------
+    name:
+        Column name.
+    values:
+        Backing numpy array.  Numeric columns must be float64; string
+        columns must be object arrays.
+    ctype:
+        The declared :class:`ColumnType`.
+    """
+
+    __slots__ = ("name", "values", "ctype")
+
+    def __init__(self, name: str, values: np.ndarray, ctype: ColumnType) -> None:
+        self.name = name
+        self.ctype = ctype
+        if ctype is ColumnType.NUMERIC:
+            self.values = np.asarray(values, dtype=np.float64)
+        else:
+            self.values = np.asarray(values, dtype=object)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_values(cls, name: str, values: Sequence[object]) -> "Column":
+        """Build a column from arbitrary Python values, inferring the type."""
+        ctype = infer_column_type(values)
+        if ctype is ColumnType.NUMERIC:
+            data = np.array(
+                [np.nan if _is_missing(v) else float(v) for v in values],
+                dtype=np.float64,
+            )
+        else:
+            data = np.array(
+                [None if _is_missing(v) else v for v in values], dtype=object
+            )
+        return cls(name, data, ctype)
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column({self.name!r}, {self.ctype.value}, n={len(self)})"
+
+    def is_numeric(self) -> bool:
+        """Whether the column stores numeric data."""
+        return self.ctype is ColumnType.NUMERIC
+
+    def null_mask(self) -> np.ndarray:
+        """Boolean array marking NULL entries."""
+        if self.ctype is ColumnType.NUMERIC:
+            return np.isnan(self.values)
+        return np.array([v is None for v in self.values], dtype=bool)
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Return a new column containing the rows at ``indices``."""
+        return Column(self.name, self.values[indices], self.ctype)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Return a new column with only rows where ``mask`` is True."""
+        return Column(self.name, self.values[mask], self.ctype)
+
+    def rename(self, name: str) -> "Column":
+        """Return the same column under a different name."""
+        return Column(name, self.values, self.ctype)
+
+    def to_pylist(self) -> list[object]:
+        """Convert to a list of Python values (``None`` for NULL)."""
+        if self.ctype is ColumnType.NUMERIC:
+            out: list[object] = []
+            for value in self.values:
+                if np.isnan(value):
+                    out.append(None)
+                elif float(value).is_integer():
+                    out.append(int(value))
+                else:
+                    out.append(float(value))
+            return out
+        return [None if v is None else v for v in self.values]
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size, used by the serialization models."""
+        if self.ctype is ColumnType.NUMERIC:
+            return int(self.values.nbytes)
+        return int(sum(len(str(v)) if v is not None else 1 for v in self.values))

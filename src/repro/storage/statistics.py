@@ -1,0 +1,103 @@
+"""Table and column statistics for cost estimation.
+
+The VegaPlus optimizer leans on the DBMS ``EXPLAIN`` facility to estimate
+query costs (Section 3 of the paper).  Our SQL engine computes simple
+statistics per table — row counts, distinct-value estimates, min/max, null
+counts — which the :mod:`repro.sql.explain` module combines into
+cardinality and cost estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Summary statistics for a single column."""
+
+    name: str
+    num_values: int
+    num_nulls: int
+    num_distinct: int
+    minimum: float | None = None
+    maximum: float | None = None
+
+    @property
+    def null_fraction(self) -> float:
+        """Fraction of values that are NULL."""
+        if self.num_values == 0:
+            return 0.0
+        return self.num_nulls / self.num_values
+
+    def selectivity_equals(self) -> float:
+        """Estimated selectivity of an equality predicate on this column."""
+        if self.num_distinct <= 0:
+            return 1.0
+        return 1.0 / self.num_distinct
+
+    def selectivity_range(self, low: float | None, high: float | None) -> float:
+        """Estimated selectivity of a range predicate assuming uniformity."""
+        if self.minimum is None or self.maximum is None:
+            return 0.3
+        span = self.maximum - self.minimum
+        if span <= 0:
+            return 1.0
+        lo = self.minimum if low is None else max(low, self.minimum)
+        hi = self.maximum if high is None else min(high, self.maximum)
+        if hi <= lo:
+            return 0.0
+        return float(min(1.0, (hi - lo) / span))
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for a table: row count plus per-column summaries."""
+
+    table_name: str
+    num_rows: int
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics | None:
+        """Statistics for ``name`` or ``None`` when unknown."""
+        return self.columns.get(name)
+
+
+def compute_column_statistics(column: Column, sample_limit: int = 100_000) -> ColumnStatistics:
+    """Compute statistics for one column.
+
+    Distinct counts on very large string columns are estimated from a
+    prefix sample to bound analysis time; for benchmark-scale data this is
+    exact in practice because categorical cardinalities are small.
+    """
+    n = len(column)
+    nulls = int(column.null_mask().sum())
+    if column.is_numeric():
+        values = column.values[~np.isnan(column.values)]
+        if values.size == 0:
+            return ColumnStatistics(column.name, n, nulls, 0, None, None)
+        distinct = int(np.unique(values[:sample_limit]).size)
+        return ColumnStatistics(
+            column.name,
+            n,
+            nulls,
+            distinct,
+            float(values.min()),
+            float(values.max()),
+        )
+    sample = [v for v in column.values[:sample_limit] if v is not None]
+    distinct = len(set(sample))
+    return ColumnStatistics(column.name, n, nulls, distinct, None, None)
+
+
+def compute_table_statistics(table: Table, sample_limit: int = 100_000) -> TableStatistics:
+    """Compute :class:`TableStatistics` for every column of ``table``."""
+    stats = TableStatistics(table_name=table.name, num_rows=table.num_rows)
+    for column in table.columns():
+        stats.columns[column.name] = compute_column_statistics(column, sample_limit)
+    return stats

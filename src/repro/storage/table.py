@@ -1,0 +1,208 @@
+"""Columnar tables.
+
+A :class:`Table` is an ordered mapping of column names to :class:`Column`
+objects, all of equal length.  Tables are immutable: every operation
+returns a new table that shares column data where possible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.storage.column import Column, ColumnType
+
+
+class Table:
+    """An immutable, in-memory, columnar table.
+
+    Parameters
+    ----------
+    columns:
+        The table's columns, in order.  All columns must have equal length
+        and unique names.
+    name:
+        Optional table name (set when registered in a catalog).
+    """
+
+    def __init__(self, columns: Sequence[Column], name: str = "") -> None:
+        lengths = {len(col) for col in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"columns have differing lengths: {sorted(lengths)}")
+        names = [col.name for col in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names: {names}")
+        self._columns: dict[str, Column] = {col.name: col for col in columns}
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Mapping[str, object]],
+        name: str = "",
+        column_order: Sequence[str] | None = None,
+    ) -> "Table":
+        """Build a table from a list of row dictionaries.
+
+        Missing keys become NULL.  ``column_order`` pins the column order;
+        otherwise columns appear in first-seen order.
+        """
+        if column_order is None:
+            order: list[str] = []
+            seen: set[str] = set()
+            for row in rows:
+                for key in row:
+                    if key not in seen:
+                        seen.add(key)
+                        order.append(key)
+        else:
+            order = list(column_order)
+        columns = [
+            Column.from_values(key, [row.get(key) for row in rows]) for key in order
+        ]
+        return cls(columns, name=name)
+
+    @classmethod
+    def from_columns(cls, data: Mapping[str, Sequence[object]], name: str = "") -> "Table":
+        """Build a table from a mapping of name -> values."""
+        columns = [Column.from_values(key, list(values)) for key, values in data.items()]
+        return cls(columns, name=name)
+
+    @classmethod
+    def empty(cls, column_names: Sequence[str], name: str = "") -> "Table":
+        """Build a zero-row table with the given column names."""
+        columns = [
+            Column(col, np.array([], dtype=np.float64), ColumnType.NUMERIC)
+            for col in column_names
+        ]
+        return cls(columns, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns in the table."""
+        return len(self._columns)
+
+    def column_names(self) -> list[str]:
+        """Column names in order."""
+        return list(self._columns)
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column with ``name`` exists."""
+        return name in self._columns
+
+    def column(self, name: str) -> Column:
+        """Return the column named ``name`` or raise :class:`CatalogError`."""
+        try:
+            return self._columns[name]
+        except KeyError as exc:
+            raise CatalogError(
+                f"table {self.name or '<anonymous>'!r} has no column {name!r}; "
+                f"available: {self.column_names()}"
+            ) from exc
+
+    def columns(self) -> list[Column]:
+        """All columns in order."""
+        return list(self._columns.values())
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={self.column_names()})"
+
+    # ------------------------------------------------------------------ #
+    # Row-wise and column-wise transformation
+    # ------------------------------------------------------------------ #
+    def select(self, names: Sequence[str]) -> "Table":
+        """Project to the named columns (in the given order)."""
+        return Table([self.column(n) for n in names], name=self.name)
+
+    def with_column(self, column: Column) -> "Table":
+        """Return a table with ``column`` added or replaced."""
+        cols = [c for c in self.columns() if c.name != column.name]
+        cols.append(column)
+        return Table(cols, name=self.name)
+
+    def rename_columns(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename columns using ``mapping`` (missing names stay unchanged)."""
+        cols = [col.rename(mapping.get(col.name, col.name)) for col in self.columns()]
+        return Table(cols, name=self.name)
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Keep rows where ``mask`` is True."""
+        return Table([col.filter(mask) for col in self.columns()], name=self.name)
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Reorder/subset rows by integer indices."""
+        return Table([col.take(indices) for col in self.columns()], name=self.name)
+
+    def slice(self, offset: int, length: int | None = None) -> "Table":
+        """Return rows ``offset:offset+length``."""
+        stop = None if length is None else offset + length
+        indices = np.arange(self.num_rows)[offset:stop]
+        return self.take(indices)
+
+    def concat(self, other: "Table") -> "Table":
+        """Append ``other``'s rows; both tables must share the same columns."""
+        if self.column_names() != other.column_names():
+            raise ValueError(
+                "cannot concat tables with different columns: "
+                f"{self.column_names()} vs {other.column_names()}"
+            )
+        cols = []
+        for name in self.column_names():
+            a, b = self.column(name), other.column(name)
+            if a.ctype is ColumnType.NUMERIC and b.ctype is ColumnType.NUMERIC:
+                values = np.concatenate([a.values, b.values])
+                cols.append(Column(name, values, ColumnType.NUMERIC))
+            else:
+                values = np.concatenate(
+                    [np.asarray(a.to_pylist(), dtype=object),
+                     np.asarray(b.to_pylist(), dtype=object)]
+                )
+                cols.append(Column(name, values, ColumnType.STRING))
+        return Table(cols, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    def to_rows(self) -> list[dict[str, object]]:
+        """Materialise the table as a list of row dictionaries."""
+        names = self.column_names()
+        pylists = [self._columns[n].to_pylist() for n in names]
+        return [
+            {name: pylists[j][i] for j, name in enumerate(names)}
+            for i in range(self.num_rows)
+        ]
+
+    def to_columns(self) -> dict[str, list[object]]:
+        """Materialise the table as a mapping of name -> Python values."""
+        return {name: col.to_pylist() for name, col in self._columns.items()}
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size in bytes."""
+        return sum(col.nbytes() for col in self.columns())
+
+    def head(self, n: int = 5) -> list[dict[str, object]]:
+        """First ``n`` rows as dictionaries (for debugging and docs)."""
+        return self.slice(0, n).to_rows()
+
+
+def rows_from_iterable(rows: Iterable[Mapping[str, object]]) -> list[dict[str, object]]:
+    """Normalise an iterable of mappings to a list of plain dictionaries."""
+    return [dict(row) for row in rows]

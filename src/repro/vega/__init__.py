@@ -1,0 +1,32 @@
+"""Vega specification layer.
+
+Provides a declarative, JSON-style specification format modelled after
+Vega's (signals, a data pipeline of transforms, scales, marks), a parser
+that compiles a specification into a :class:`~repro.dataflow.graph.Dataflow`,
+and a :class:`~repro.vega.runtime.VegaRuntime` that owns the compiled
+dataflow, renders the initial view and applies interaction updates.
+"""
+
+from repro.vega.spec import (
+    VegaSpec,
+    DataEntry,
+    SignalSpec,
+    ScaleSpec,
+    MarkSpec,
+    parse_spec_dict,
+)
+from repro.vega.parser import compile_spec, DataProvider
+from repro.vega.runtime import VegaRuntime, RenderResult
+
+__all__ = [
+    "VegaSpec",
+    "DataEntry",
+    "SignalSpec",
+    "ScaleSpec",
+    "MarkSpec",
+    "parse_spec_dict",
+    "compile_spec",
+    "DataProvider",
+    "VegaRuntime",
+    "RenderResult",
+]

@@ -1,0 +1,132 @@
+"""Compile a Vega specification into a dataflow graph.
+
+The compiler mirrors Vega's behaviour described in Section 2 of the
+paper: each data entry's transforms become a chain of operators in the
+declared order, entries that ``source`` another entry attach to that
+entry's final operator, interaction signals become dataflow signals, and
+transform-produced signals (e.g. an ``extent`` transform's ``signal``) are
+wired as operator-value references so downstream transforms depend on
+them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.errors import SpecError
+from repro.dataflow import Dataflow, Operator, create_transform
+from repro.dataflow.operator import SourceOperator
+from repro.vega.spec import VegaSpec, parse_spec_dict
+
+#: Callable that loads the rows of a named table for client-side execution.
+DataProvider = Callable[[str], list[dict]]
+
+
+def compile_spec(
+    spec: VegaSpec | dict,
+    data_provider: DataProvider | Mapping[str, list[dict]] | None = None,
+) -> Dataflow:
+    """Compile ``spec`` into a :class:`Dataflow`.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`VegaSpec` or a raw specification dictionary.
+    data_provider:
+        Source of rows for data entries that reference a table: either a
+        callable ``name -> rows`` or a mapping.  Entries with inline
+        ``values`` do not need it.
+    """
+    if isinstance(spec, dict):
+        spec = parse_spec_dict(spec)
+    provider = _normalise_provider(data_provider)
+
+    dataflow = Dataflow()
+    for signal in spec.signals:
+        dataflow.declare_signal(signal.name, value=signal.value, bind=signal.bind)
+
+    # Signals produced by transforms are exposed through operator references.
+    operator_signals = spec.operator_signal_names()
+
+    entry_tail: dict[str, Operator] = {}
+    for entry in spec.data:
+        if entry.source is not None:
+            current: Operator = entry_tail[entry.source]
+        else:
+            rows = _load_rows(entry, provider)
+            source = SourceOperator(rows, name=f"data:{entry.name}")
+            dataflow.add_operator(source, None, name=f"data:{entry.name}")
+            current = source
+
+        for index, raw_transform in enumerate(entry.transforms):
+            definition = _rewrite_signal_refs(raw_transform, operator_signals)
+            exported_signal = definition.pop("signal", None)
+            operator = create_transform(definition)
+            name = None
+            if isinstance(exported_signal, str):
+                # Register the operator under the signal name so that other
+                # transforms referencing {"signal": <name>} resolve to its
+                # output value.
+                name = exported_signal
+            dataflow.add_operator(operator, current, name=name)
+            current = operator
+        entry_tail[entry.name] = current
+        dataflow.mark_dataset(entry.name, current)
+
+    return dataflow
+
+
+def _normalise_provider(
+    data_provider: DataProvider | Mapping[str, list[dict]] | None,
+) -> DataProvider:
+    if data_provider is None:
+        def missing(name: str) -> list[dict]:
+            raise SpecError(
+                f"data entry references table {name!r} but no data provider was given"
+            )
+
+        return missing
+    if callable(data_provider):
+        return data_provider
+    mapping = dict(data_provider)
+
+    def lookup(name: str) -> list[dict]:
+        try:
+            return mapping[name]
+        except KeyError as exc:
+            raise SpecError(f"data provider has no table named {name!r}") from exc
+
+    return lookup
+
+
+def _load_rows(entry, provider: DataProvider) -> list[dict]:
+    if entry.values is not None:
+        return list(entry.values)
+    if entry.table is not None:
+        return provider(entry.table)
+    raise SpecError(f"data entry {entry.name!r} has no data source")
+
+
+def _rewrite_signal_refs(definition: dict, operator_signals: set[str]) -> dict:
+    """Convert ``{"signal": name}`` refs to operator refs when appropriate.
+
+    A reference to a signal that is *produced by a transform* (rather than
+    by an interaction widget) is rewritten to an operator reference so the
+    dataflow wires a parameter edge to that operator.
+    """
+    def rewrite(value: object) -> object:
+        if isinstance(value, dict):
+            if set(value) == {"signal"} and value["signal"] in operator_signals:
+                return {"operator": value["signal"]}
+            return {k: rewrite(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [rewrite(v) for v in value]
+        return value
+
+    rewritten = {}
+    for key, value in definition.items():
+        if key == "signal":
+            rewritten[key] = value
+        else:
+            rewritten[key] = rewrite(value)
+    return rewritten

@@ -1,0 +1,95 @@
+"""The client-side Vega runtime.
+
+Owns a compiled dataflow, performs the initial rendering pass, applies
+interaction signal updates (partial re-evaluation), and accumulates the
+client-side compute time that the VegaPlus optimizer trades off against
+server execution and network transfer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.dataflow import Dataflow, EvaluationReport
+from repro.vega.parser import DataProvider, compile_spec
+from repro.vega.spec import VegaSpec, parse_spec_dict
+
+
+@dataclass
+class RenderResult:
+    """Outcome of one rendering pass (initial render or interaction update)."""
+
+    report: EvaluationReport
+    datasets: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock time spent evaluating dataflow operators."""
+        return self.report.total_seconds
+
+    @property
+    def evaluated_operator_count(self) -> int:
+        """How many operators were (re-)evaluated in this pass."""
+        return len(self.report.evaluated_operators)
+
+
+class VegaRuntime:
+    """Client-side runtime: compiled dataflow + signal management.
+
+    Parameters
+    ----------
+    spec:
+        The Vega specification (dict or :class:`VegaSpec`).
+    data_provider:
+        Row source for table-backed data entries (see
+        :func:`repro.vega.parser.compile_spec`).
+    """
+
+    def __init__(
+        self,
+        spec: VegaSpec | dict,
+        data_provider: DataProvider | Mapping[str, list[dict]] | None = None,
+    ) -> None:
+        self.spec = parse_spec_dict(spec) if isinstance(spec, dict) else spec
+        self.dataflow: Dataflow = compile_spec(self.spec, data_provider)
+        self.total_client_seconds = 0.0
+        self.render_count = 0
+
+    # ------------------------------------------------------------------ #
+    def initialize(self) -> RenderResult:
+        """Run the full dataflow: the initial rendering pass."""
+        report = self.dataflow.run()
+        return self._record(report)
+
+    def interact(self, signal_updates: Mapping[str, object]) -> RenderResult:
+        """Apply one interaction: update signals, partially re-evaluate."""
+        report = self.dataflow.update_signals(dict(signal_updates))
+        return self._record(report)
+
+    def dataset(self, name: str) -> list[dict]:
+        """Rows of a named dataset after the most recent pass."""
+        return self.dataflow.dataset(name)
+
+    def signal_value(self, name: str) -> object:
+        """Current value of a signal."""
+        return self.dataflow.signals.value(name)
+
+    def dataset_cardinalities(self) -> dict[str, int]:
+        """Row counts of every named dataset (for the renderer / encoder)."""
+        return {
+            name: len(self.dataflow.dataset(name))
+            for name in self.dataflow.dataset_names()
+        }
+
+    # ------------------------------------------------------------------ #
+    def _record(self, report: EvaluationReport) -> RenderResult:
+        self.total_client_seconds += report.total_seconds
+        self.render_count += 1
+        datasets = {}
+        for name in self.dataflow.dataset_names():
+            try:
+                datasets[name] = len(self.dataflow.dataset(name))
+            except Exception:  # pragma: no cover - dataset not yet evaluated
+                datasets[name] = 0
+        return RenderResult(report=report, datasets=datasets)

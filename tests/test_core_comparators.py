@@ -1,0 +1,219 @@
+"""Tests for the pairwise comparators, training and consolidation."""
+
+import numpy as np
+import pytest
+
+from repro.core.comparators import (
+    HeuristicComparator,
+    RandomComparator,
+    RandomForestComparator,
+    RankSVMComparator,
+    build_pair_dataset,
+    train_comparator,
+)
+from repro.core.consolidation import consolidate_session, downweight_initial_render
+from repro.core.encoder import PlanVector
+from repro.errors import OptimizationError
+
+
+def make_vectors(cardinalities):
+    """Plan vectors whose total cardinality is given (one vdt each)."""
+    return [
+        PlanVector(plan_id=i, counts={"vdt": 1.0}, cardinalities={"vdt": float(c)})
+        for i, c in enumerate(cardinalities)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Pair dataset construction
+# --------------------------------------------------------------------------- #
+
+
+def test_build_pair_dataset_labels_and_gaps():
+    vectors = make_vectors([10, 1000])
+    dataset = build_pair_dataset(vectors, [0.1, 2.0], normalize=False)
+    assert len(dataset) == 1
+    assert dataset.labels[0] == 1  # first plan is faster
+    assert dataset.latency_gaps[0] == pytest.approx(1.9)
+
+
+def test_build_pair_dataset_requires_two_plans():
+    with pytest.raises(OptimizationError):
+        build_pair_dataset(make_vectors([1]), [0.1])
+    with pytest.raises(OptimizationError):
+        build_pair_dataset(make_vectors([1, 2]), [0.1])
+
+
+# --------------------------------------------------------------------------- #
+# Heuristic comparator rules
+# --------------------------------------------------------------------------- #
+
+
+def test_heuristic_prefers_smaller_cardinality():
+    comparator = HeuristicComparator(alpha=1.5)
+    small, large = make_vectors([10, 10_000])
+    assert comparator.compare(small, large) == 1
+    assert comparator.compare(large, small) == 0
+    assert comparator.select_best([large, small]) == 1
+
+
+def test_heuristic_tie_break_by_client_aggregates():
+    comparator = HeuristicComparator()
+    with_aggregate = PlanVector(
+        plan_id=0, counts={"vdt": 1, "aggregate": 1}, cardinalities={"vdt": 100.0}
+    )
+    without_aggregate = PlanVector(
+        plan_id=1, counts={"vdt": 1, "filter": 1}, cardinalities={"vdt": 100.0}
+    )
+    assert comparator.compare(with_aggregate, without_aggregate) == 1
+
+
+def test_heuristic_tie_break_by_fewer_client_operators():
+    comparator = HeuristicComparator()
+    lean = PlanVector(plan_id=0, counts={"vdt": 1, "filter": 1}, cardinalities={"vdt": 10.0})
+    busy = PlanVector(
+        plan_id=1, counts={"vdt": 1, "filter": 3}, cardinalities={"vdt": 10.0}
+    )
+    assert comparator.compare(lean, busy) == 1
+
+
+def test_heuristic_tie_break_by_offloading_and_stability():
+    comparator = HeuristicComparator()
+    more_vdts = PlanVector(plan_id=0, counts={"vdt": 2}, cardinalities={"vdt": 10.0})
+    fewer_vdts = PlanVector(plan_id=1, counts={"vdt": 1}, cardinalities={"vdt": 10.0})
+    assert comparator.compare(more_vdts, fewer_vdts) == 1
+    identical = PlanVector(plan_id=2, counts={"vdt": 1}, cardinalities={"vdt": 10.0})
+    assert comparator.compare(fewer_vdts, identical) == 1  # stable tie-break
+
+
+def test_heuristic_invalid_alpha():
+    with pytest.raises(OptimizationError):
+        HeuristicComparator(alpha=0.5)
+
+
+# --------------------------------------------------------------------------- #
+# Random comparator
+# --------------------------------------------------------------------------- #
+
+
+def test_random_comparator_is_seeded_and_roughly_uniform():
+    comparator = RandomComparator(seed=3)
+    first, second = make_vectors([1, 2])
+    outcomes = [comparator.compare(first, second) for _ in range(200)]
+    assert 0.3 < np.mean(outcomes) < 0.7
+    again = RandomComparator(seed=3)
+    assert [again.compare(first, second) for _ in range(200)] == outcomes
+    with pytest.raises(OptimizationError):
+        comparator.select_best([])
+
+
+# --------------------------------------------------------------------------- #
+# Learned comparators
+# --------------------------------------------------------------------------- #
+
+
+def synthetic_training_set(n_plans: int = 12, seed: int = 0):
+    """Plans whose latency grows with their total cardinality."""
+    rng = np.random.default_rng(seed)
+    cardinalities = rng.uniform(1, 10_000, size=n_plans)
+    vectors = make_vectors(cardinalities)
+    latencies = [0.001 * c + rng.normal(0, 0.05) for c in cardinalities]
+    return vectors, latencies
+
+
+def test_ranksvm_comparator_learns_cardinality_rule():
+    from repro.core.encoder import normalize_cardinalities
+
+    vectors, latencies = synthetic_training_set()
+    dataset = build_pair_dataset(vectors, latencies)
+    comparator = RankSVMComparator().fit(dataset)
+    best = comparator.select_best(normalize_cardinalities(vectors))
+    assert latencies[best] <= sorted(latencies)[2]  # among the fastest plans
+    assert comparator.cost(vectors[best]) is not None
+    assert comparator.feature_weights().shape[0] == len(vectors[0].to_array())
+
+
+def test_random_forest_comparator_learns_and_votes():
+    from repro.core.encoder import normalize_cardinalities
+
+    vectors, latencies = synthetic_training_set()
+    dataset = build_pair_dataset(vectors, latencies)
+    comparator = RandomForestComparator().fit(dataset)
+    normalized = normalize_cardinalities(vectors)
+    best = comparator.select_best(normalized)
+    assert latencies[best] <= sorted(latencies)[3]
+    assert comparator.cost(normalized[0]) is None  # rank-only model
+    ranking = comparator.rank(normalized)
+    assert len(ranking) == len(vectors)
+    assert ranking[0] == best
+
+
+def test_train_comparator_reports_accuracy():
+    vectors, latencies = synthetic_training_set(n_plans=16)
+    dataset = build_pair_dataset(vectors, latencies)
+    for kind in ("ranksvm", "random_forest", "heuristic", "random"):
+        report = train_comparator(kind, dataset, seed=0)
+        assert 0.0 <= report.test_accuracy <= 1.0
+        assert report.n_pairs == len(dataset)
+    svm = train_comparator("ranksvm", dataset, seed=0)
+    rnd = train_comparator("random", dataset, seed=0)
+    assert svm.test_accuracy > rnd.test_accuracy
+    with pytest.raises(OptimizationError):
+        train_comparator("neural", dataset)
+
+
+# --------------------------------------------------------------------------- #
+# Consolidation across interactions
+# --------------------------------------------------------------------------- #
+
+
+def test_consolidation_with_cost_model_sums_costs():
+    vectors, latencies = synthetic_training_set(n_plans=6)
+    dataset = build_pair_dataset(vectors, latencies)
+    comparator = RankSVMComparator().fit(dataset)
+    episodes = [vectors, vectors, vectors]
+    decision = consolidate_session(comparator, episodes)
+    assert decision.score_kind == "cost"
+    assert decision.best_plan_index == comparator.select_best(vectors)
+    assert len(decision.ranking()) == 6
+
+
+def test_consolidation_with_wins_counts():
+    comparator = HeuristicComparator()
+    episode_one = make_vectors([10, 10_000, 500])
+    episode_two = make_vectors([20, 9_000, 800])
+    decision = consolidate_session(comparator, [episode_one, episode_two])
+    assert decision.score_kind == "wins"
+    assert decision.best_plan_index == 0
+
+
+def test_consolidation_weights_shift_decision():
+    comparator = HeuristicComparator()
+    # Plan 0 wins episode 0 by a lot; plan 1 wins episode 1.
+    episode_zero = make_vectors([10, 10_000])
+    episode_one = make_vectors([10_000, 10])
+    uniform = consolidate_session(comparator, [episode_zero, episode_one, episode_one])
+    assert uniform.best_plan_index == 1
+    weighted = consolidate_session(
+        comparator, [episode_zero, episode_one, episode_one], episode_weights=[10.0, 1.0, 1.0]
+    )
+    assert weighted.best_plan_index == 0
+
+
+def test_consolidation_validation_errors():
+    comparator = HeuristicComparator()
+    with pytest.raises(OptimizationError):
+        consolidate_session(comparator, [])
+    with pytest.raises(OptimizationError):
+        consolidate_session(comparator, [[]])
+    with pytest.raises(OptimizationError):
+        consolidate_session(comparator, [make_vectors([1, 2]), make_vectors([1])])
+    with pytest.raises(OptimizationError):
+        consolidate_session(comparator, [make_vectors([1, 2])], episode_weights=[1.0, 2.0])
+
+
+def test_downweight_initial_render_weights():
+    weights = downweight_initial_render(4, factor=0.25)
+    assert weights == [0.25, 1.0, 1.0, 1.0]
+    with pytest.raises(OptimizationError):
+        downweight_initial_render(0)

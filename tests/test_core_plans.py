@@ -1,0 +1,189 @@
+"""Tests for execution plans, enumeration and plan encoding."""
+
+import pytest
+
+from repro.core import ExecutionPlan, PlanEncoder, PlanEnumerator
+from repro.core.encoder import FEATURE_OPERATOR_TYPES, PlanVector, feature_names, normalize_cardinalities
+from repro.errors import OptimizationError
+from repro.net import MiddlewareServer
+from repro.rewrite import SpecRewriter
+from repro.vega.spec import parse_spec_dict
+
+
+@pytest.fixture()
+def spec(histogram_spec):
+    return parse_spec_dict(histogram_spec)
+
+
+# --------------------------------------------------------------------------- #
+# ExecutionPlan
+# --------------------------------------------------------------------------- #
+
+
+def test_plan_accessors(spec):
+    plan = ExecutionPlan.from_mapping({"source": 0, "binned": 2}, plan_id=3)
+    assert plan.split_for("binned") == 2
+    assert plan.split_for("unknown") == 0
+    assert plan.total_server_transforms() == 2
+    assert not plan.is_all_client()
+    assert not plan.is_all_server(spec)
+    assert "binned=server[2]/client[2]" in plan.describe(spec)
+
+
+def test_plan_all_client_all_server(spec):
+    assert ExecutionPlan.from_mapping({"source": 0, "binned": 0}).is_all_client()
+    assert ExecutionPlan.from_mapping({"source": 0, "binned": 4}).is_all_server(spec)
+
+
+def test_plan_equality_and_hash():
+    a = ExecutionPlan.from_mapping({"x": 1})
+    b = ExecutionPlan.from_mapping({"x": 1})
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+# --------------------------------------------------------------------------- #
+# PlanEnumerator
+# --------------------------------------------------------------------------- #
+
+
+def test_enumerator_histogram_plan_count(spec):
+    """The running example has 4 rewritable transforms → 5 split points."""
+    plans = PlanEnumerator(spec).enumerate()
+    assert len(plans) == 5
+    splits = sorted(p.split_for("binned") for p in plans)
+    assert splits == [0, 1, 2, 3, 4]
+    assert [p.plan_id for p in plans] == list(range(5))
+
+
+def test_enumerator_blocks_after_unsupported_transform(flights_db):
+    spec = parse_spec_dict(
+        {
+            "data": [
+                {"name": "source", "table": "flights"},
+                {
+                    "name": "derived",
+                    "source": "source",
+                    "transform": [
+                        {"type": "filter", "expr": "datum.delay > 0"},
+                        {"type": "joinaggregate", "groupby": ["carrier"], "ops": ["count"]},
+                        {"type": "aggregate", "groupby": ["carrier"], "ops": ["count"]},
+                    ],
+                },
+            ],
+            "marks": [{"type": "rect", "from": {"data": "derived"}}],
+        }
+    )
+    enumerator = PlanEnumerator(spec)
+    # joinaggregate is not rewritable, so the server prefix stops at 1.
+    assert enumerator.rewritable_prefix(spec.data_entry("derived")) == 1
+    assert len(enumerator.enumerate()) == 2
+
+
+def test_enumerator_child_depends_on_parent():
+    spec = parse_spec_dict(
+        {
+            "data": [
+                {"name": "source", "table": "t"},
+                {"name": "filtered", "source": "source",
+                 "transform": [{"type": "filter", "expr": "datum.x > 0"}]},
+                {"name": "agg", "source": "filtered",
+                 "transform": [{"type": "aggregate", "groupby": ["g"], "ops": ["count"]}]},
+            ],
+            "marks": [{"type": "rect", "from": {"data": "agg"}}],
+        }
+    )
+    plans = PlanEnumerator(spec).enumerate()
+    # filtered has 2 options; agg can only offload when filtered == 1:
+    # (0,0), (1,0), (1,1) -> 3 plans.
+    assert len(plans) == 3
+    for plan in plans:
+        if plan.split_for("agg") == 1:
+            assert plan.split_for("filtered") == 1
+
+
+def test_enumerator_inline_values_never_offloaded():
+    spec = parse_spec_dict(
+        {
+            "data": [
+                {"name": "inline", "values": [{"x": 1}],
+                 "transform": [{"type": "aggregate", "ops": ["count"]}]},
+            ],
+            "marks": [{"type": "rect", "from": {"data": "inline"}}],
+        }
+    )
+    plans = PlanEnumerator(spec).enumerate()
+    assert len(plans) == 1
+    assert plans[0].is_all_client()
+
+
+def test_enumerator_all_client_all_server_helpers(spec):
+    enumerator = PlanEnumerator(spec)
+    assert enumerator.all_client_plan().is_all_client()
+    assert enumerator.all_server_plan().is_all_server(spec)
+
+
+def test_enumerator_max_plans_guard(spec):
+    with pytest.raises(OptimizationError):
+        PlanEnumerator(spec, max_plans=2).enumerate()
+
+
+# --------------------------------------------------------------------------- #
+# PlanEncoder / PlanVector
+# --------------------------------------------------------------------------- #
+
+
+def test_plan_vector_array_layout():
+    vector = PlanVector(plan_id=0, counts={"vdt": 2}, cardinalities={"vdt": 100.0})
+    array = vector.to_array()
+    assert len(array) == 2 * len(FEATURE_OPERATOR_TYPES)
+    assert array[FEATURE_OPERATOR_TYPES.index("vdt")] == 2
+    assert len(feature_names()) == len(array)
+    assert vector.vdt_cardinality == 100.0
+
+
+def test_normalize_cardinalities_scales_to_unit_interval():
+    vectors = [
+        PlanVector(plan_id=0, cardinalities={"vdt": 0.0}),
+        PlanVector(plan_id=1, cardinalities={"vdt": 50.0}),
+        PlanVector(plan_id=2, cardinalities={"vdt": 100.0}),
+    ]
+    scaled = normalize_cardinalities(vectors)
+    assert [v.cardinalities["vdt"] for v in scaled] == [0.0, 0.5, 1.0]
+    assert normalize_cardinalities([]) == []
+
+
+def test_encoder_measured_vs_estimated(spec, flights_db):
+    middleware = MiddlewareServer(flights_db)
+    rewriter = SpecRewriter(spec, middleware)
+    encoder = PlanEncoder(flights_db)
+
+    built = rewriter.build({"source": 0, "binned": 4})
+    estimated = encoder.encode_estimated(built, plan_id=4)
+    assert estimated.counts["vdt"] == 2  # extent VDT + bin/aggregate VDT
+    built.dataflow.run()
+    measured = encoder.encode_measured(built, plan_id=4)
+    assert measured.counts == estimated.counts
+    assert measured.vdt_cardinality > 0
+
+    client_plan = rewriter.build({"source": 0, "binned": 0})
+    client_estimated = encoder.encode_estimated(client_plan, plan_id=0)
+    # The all-client plan moves the whole table, so its estimated cardinality
+    # far exceeds the fully offloaded plan's.
+    assert client_estimated.total_cardinality > estimated.total_cardinality * 3
+    assert client_estimated.counts["aggregate"] == 1
+
+
+def test_encoder_measured_episode_subset(spec, flights_db):
+    middleware = MiddlewareServer(flights_db)
+    rewriter = SpecRewriter(spec, middleware)
+    encoder = PlanEncoder(flights_db)
+    built = rewriter.build({"source": 0, "binned": 0})
+    built.dataflow.run()
+    report = built.dataflow.update_signals({"maxbins": 30})
+    episode_vector = encoder.encode_measured(
+        built, plan_id=0, operator_ids=report.evaluated_operators, episode=1
+    )
+    full_vector = encoder.encode_measured(built, plan_id=0)
+    assert episode_vector.episode == 1
+    assert sum(episode_vector.counts.values()) < sum(full_vector.counts.values())

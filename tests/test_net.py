@@ -1,0 +1,171 @@
+"""Tests for serialization codecs, the network model, caches and middleware."""
+
+import pytest
+
+from repro.net import (
+    ArrowCodec,
+    JsonCodec,
+    MiddlewareServer,
+    NetworkModel,
+    QueryCache,
+    VirtualClock,
+)
+from repro.sql import Database
+
+
+ROWS = [{"a": float(i), "b": f"value-{i}"} for i in range(200)]
+
+
+# --------------------------------------------------------------------------- #
+# Codecs
+# --------------------------------------------------------------------------- #
+
+
+def test_json_payload_larger_than_arrow():
+    json_estimate = JsonCodec().estimate(ROWS)
+    arrow_estimate = ArrowCodec().estimate(ROWS)
+    assert json_estimate.payload_bytes > arrow_estimate.payload_bytes
+    assert json_estimate.decode_seconds > arrow_estimate.decode_seconds
+
+
+def test_codec_payload_scales_with_rows():
+    codec = ArrowCodec()
+    small = codec.estimate(ROWS[:10]).payload_bytes
+    large = codec.estimate(ROWS).payload_bytes
+    # Per-row payload grows 20x (framing overhead is constant).
+    assert large - codec.framing_bytes > (small - codec.framing_bytes) * 15
+
+
+def test_codec_empty_result():
+    assert JsonCodec().estimate([]).payload_bytes >= 2
+    assert ArrowCodec().estimate([]).num_rows == 0
+
+
+# --------------------------------------------------------------------------- #
+# Network model and clock
+# --------------------------------------------------------------------------- #
+
+
+def test_network_transfer_cost_components():
+    network = NetworkModel(rtt_seconds=0.01, bandwidth_bytes_per_second=1_000_000)
+    cost = network.transfer(500_000)
+    assert cost.seconds == pytest.approx(0.01 + 0.5)
+    assert network.transfer(0, round_trips=3).seconds == pytest.approx(0.03)
+
+
+def test_network_profiles_ordering():
+    payload = 1_000_000
+    localhost = NetworkModel.localhost().transfer(payload).seconds
+    lan = NetworkModel.lan().transfer(payload).seconds
+    wan = NetworkModel.wan().transfer(payload).seconds
+    assert localhost < lan < wan
+
+
+def test_virtual_clock_accumulates_and_resets():
+    clock = VirtualClock()
+    clock.add_compute(0.1)
+    clock.add_network(0.2)
+    clock.add_serialization(0.05)
+    assert clock.total_seconds == pytest.approx(0.35)
+    assert len(clock.events) == 3
+    clock.reset()
+    assert clock.total_seconds == 0
+
+
+# --------------------------------------------------------------------------- #
+# Query cache
+# --------------------------------------------------------------------------- #
+
+
+def test_cache_hit_miss_statistics():
+    cache = QueryCache(max_entries=4)
+    assert cache.get("q1") is None
+    cache.put("q1", ROWS[:5], payload_bytes=100)
+    assert cache.get("q1").rows == ROWS[:5]
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_cache_fifo_eviction():
+    cache = QueryCache(max_entries=2)
+    cache.put("q1", [], 10)
+    cache.put("q2", [], 10)
+    cache.put("q3", [], 10)
+    assert not cache.contains("q1")
+    assert cache.contains("q2") and cache.contains("q3")
+    assert cache.stats.evictions == 1
+    assert cache.cached_queries() == ["q2", "q3"]
+
+
+def test_cache_rejects_large_results_and_duplicates():
+    cache = QueryCache(max_entries=4, max_result_bytes=100)
+    assert cache.put("big", [], payload_bytes=1000) is False
+    assert cache.stats.rejected_too_large == 1
+    assert cache.put("q", [], 10) is True
+    assert cache.put("q", [], 10) is False  # duplicate check
+    assert len(cache) == 1
+
+
+def test_cache_invalid_capacity():
+    with pytest.raises(ValueError):
+        QueryCache(max_entries=0)
+
+
+# --------------------------------------------------------------------------- #
+# Middleware
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def middleware(flights_db):
+    return MiddlewareServer(flights_db)
+
+
+def test_middleware_executes_and_reports_costs(middleware):
+    response = middleware.execute("SELECT carrier, COUNT(*) AS n FROM flights GROUP BY carrier")
+    assert response.rows
+    assert response.payload_bytes > 0
+    assert response.server_seconds > 0
+    assert response.network_seconds > 0
+    assert not response.from_cache
+    assert response.total_seconds > 0
+
+
+def test_middleware_cache_levels(middleware):
+    sql = "SELECT COUNT(*) AS n FROM flights"
+    first = middleware.execute(sql)
+    second = middleware.execute(sql)
+    assert not first.from_cache
+    assert second.cache_level == "client"
+    assert second.server_seconds == 0
+    assert second.network_seconds == 0
+    stats = middleware.cache_statistics()
+    assert stats["queries_executed"] == 1
+    assert stats["client_hit_rate"] > 0
+
+
+def test_middleware_server_cache_after_client_reset(middleware):
+    sql = "SELECT COUNT(*) AS n FROM flights"
+    middleware.execute(sql)
+    middleware.client_cache.clear()
+    response = middleware.execute(sql)
+    assert response.cache_level == "server"
+    assert response.network_seconds > 0  # still one round trip
+
+
+def test_middleware_cache_disabled(flights_db):
+    middleware = MiddlewareServer(flights_db, enable_cache=False)
+    sql = "SELECT COUNT(*) AS n FROM flights"
+    middleware.execute(sql)
+    response = middleware.execute(sql)
+    assert not response.from_cache
+    assert middleware.queries_executed == 2
+
+
+def test_middleware_reset_caches(middleware):
+    sql = "SELECT COUNT(*) AS n FROM flights"
+    middleware.execute(sql)
+    middleware.reset_caches()
+    response = middleware.execute(sql)
+    assert not response.from_cache

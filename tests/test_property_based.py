@@ -1,0 +1,282 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+The most important invariant of the whole system is *plan equivalence*:
+whatever partitioning the optimizer picks, the rows handed to the renderer
+must be the same.  These tests also cover the SQL-vs-dataflow equivalence
+of individual operators, the expression translator, the bin computation,
+the cache, and the enumerator's validity guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumerator import PlanEnumerator
+from repro.dataflow.transforms.bin import compute_bins, nice_bin_step
+from repro.expr import evaluate, is_translatable, to_sql
+from repro.net.cache import QueryCache
+from repro.rewrite import SpecRewriter
+from repro.net import MiddlewareServer
+from repro.sql import Database
+from repro.vega.spec import parse_spec_dict
+
+settings.register_profile(
+    "repro", deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=30
+)
+settings.load_profile("repro")
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+row_strategy = st.fixed_dictionaries(
+    {
+        "v": st.one_of(st.none(), finite_floats),
+        "w": finite_floats,
+        "g": st.sampled_from(["a", "b", "c", "d"]),
+    }
+)
+
+rows_strategy = st.lists(row_strategy, min_size=1, max_size=40)
+
+
+# --------------------------------------------------------------------------- #
+# SQL engine vs. client dataflow equivalence
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=25)
+@given(rows=rows_strategy, threshold=st.floats(min_value=-100, max_value=100))
+def test_filter_equivalence_sql_vs_expression(rows, threshold):
+    """WHERE v > t must keep exactly the rows the Vega expression keeps."""
+    db = Database()
+    db.register_rows("t", rows, column_order=["v", "w", "g"])
+    sql_rows = db.query_rows(f"SELECT * FROM t WHERE {to_sql('datum.v > cut', {'cut': threshold})}")
+    expr_rows = [r for r in rows if evaluate("datum.v > cut", r, {"cut": threshold}) is True]
+    assert len(sql_rows) == len(expr_rows)
+
+
+@settings(max_examples=25)
+@given(rows=rows_strategy)
+def test_groupby_count_equivalence(rows):
+    """SQL GROUP BY count equals a hand-computed Python group count."""
+    db = Database()
+    db.register_rows("t", rows, column_order=["v", "w", "g"])
+    result = db.query_rows("SELECT g, COUNT(*) AS n FROM t GROUP BY g")
+    expected: dict[str, int] = {}
+    for row in rows:
+        expected[row["g"]] = expected.get(row["g"], 0) + 1
+    assert {r["g"]: r["n"] for r in result} == expected
+
+
+@settings(max_examples=25)
+@given(rows=rows_strategy)
+def test_sum_ignores_nulls(rows):
+    db = Database()
+    db.register_rows("t", rows, column_order=["v", "w", "g"])
+    result = db.query_rows("SELECT SUM(v) AS s, COUNT(v) AS n FROM t")[0]
+    values = [r["v"] for r in rows if r["v"] is not None]
+    assert result["n"] == len(values)
+    if values:
+        assert result["s"] == pytest.approx(sum(values), rel=1e-6, abs=1e-6)
+    else:
+        assert result["s"] is None
+
+
+# --------------------------------------------------------------------------- #
+# Expression translation
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=40)
+@given(
+    low=st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+    high=st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+    value=st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+)
+def test_range_predicate_translation_agrees_with_evaluator(low, high, value):
+    expr = "datum.x >= lo && datum.x <= hi"
+    signals = {"lo": low, "hi": high}
+    client = evaluate(expr, {"x": value}, signals)
+    db = Database()
+    db.register_rows("t", [{"x": value}])
+    server = len(db.query_rows(f"SELECT * FROM t WHERE {to_sql(expr, signals)}")) == 1
+    assert bool(client) == server
+
+
+@given(st.sampled_from([
+    "datum.a > 1 && datum.b < 2",
+    "abs(datum.a) >= 5",
+    "datum.a == null",
+    "isValid(datum.a)",
+    "datum.a > 0 ? 1 : 0",
+]))
+def test_translatable_expressions_report_translatable(expr):
+    assert is_translatable(expr)
+
+
+# --------------------------------------------------------------------------- #
+# Binning
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=60)
+@given(
+    low=st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+    span=st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+    maxbins=st.integers(min_value=1, max_value=200),
+)
+def test_compute_bins_invariants(low, span, maxbins):
+    high = low + span
+    start, stop, step = compute_bins((low, high), maxbins)
+    assert step > 0
+    assert start <= low + 1e-9
+    assert stop >= high - 1e-9
+    # The nice step never produces more than ~maxbins buckets (plus rounding).
+    assert (stop - start) / step <= maxbins + 2
+    # The chosen step comes from the 1/2/2.5/5/10 ladder.
+    mantissa = step / (10 ** math.floor(math.log10(step)))
+    assert any(math.isclose(mantissa, m, rel_tol=1e-9) for m in (1.0, 2.0, 2.5, 5.0, 10.0))
+
+
+# --------------------------------------------------------------------------- #
+# Cache
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=40)
+@given(
+    queries=st.lists(st.sampled_from([f"q{i}" for i in range(8)]), min_size=1, max_size=60),
+    capacity=st.integers(min_value=1, max_value=6),
+)
+def test_cache_never_exceeds_capacity_and_counts_consistently(queries, capacity):
+    cache = QueryCache(max_entries=capacity)
+    for query in queries:
+        if cache.get(query) is None:
+            cache.put(query, rows=[], payload_bytes=10)
+        assert len(cache) <= capacity
+    stats = cache.stats
+    assert stats.hits + stats.misses == len(queries)
+    assert stats.insertions <= stats.misses
+    assert stats.evictions <= stats.insertions
+
+
+# --------------------------------------------------------------------------- #
+# Plan enumeration and plan equivalence
+# --------------------------------------------------------------------------- #
+
+
+def _histogram_spec(maxbins_value: int = 8) -> dict:
+    return {
+        "signals": [{"name": "maxbins", "value": maxbins_value}],
+        "data": [
+            {"name": "source", "table": "t"},
+            {
+                "name": "binned",
+                "source": "source",
+                "transform": [
+                    {"type": "filter", "expr": "datum.w >= 0"},
+                    {"type": "extent", "field": "w", "signal": "w_extent"},
+                    {
+                        "type": "bin",
+                        "field": "w",
+                        "maxbins": {"signal": "maxbins"},
+                        "extent": {"signal": "w_extent"},
+                    },
+                    {"type": "aggregate", "groupby": ["bin0"], "ops": ["count"], "as": ["n"]},
+                ],
+            },
+        ],
+        "marks": [{"type": "rect", "from": {"data": "binned"}}],
+    }
+
+
+@settings(max_examples=15)
+@given(rows=rows_strategy, maxbins=st.integers(min_value=2, max_value=30))
+def test_every_enumerated_plan_is_valid_and_equivalent(rows, maxbins):
+    """All enumerated plans validate and produce identical renderer input."""
+    spec = parse_spec_dict(_histogram_spec(maxbins))
+    db = Database()
+    db.register_rows("t", rows, column_order=["v", "w", "g"])
+    middleware = MiddlewareServer(db)
+    rewriter = SpecRewriter(spec, middleware)
+    plans = PlanEnumerator(spec).enumerate()
+    assert len(plans) == 5
+
+    reference: set | None = None
+    for plan in plans:
+        rewriter.validate_assignment(plan.as_dict())  # must not raise
+        built = rewriter.build(plan.as_dict())
+        built.dataflow.run()
+        binned = built.dataflow.dataset("binned")
+        key = {
+            (None if r["bin0"] is None else round(r["bin0"], 6), r["n"]) for r in binned
+        }
+        if reference is None:
+            reference = key
+        else:
+            assert key == reference
+
+
+@settings(max_examples=20)
+@given(st.data())
+def test_enumerator_child_splits_require_server_parent(data):
+    """Random multi-entry pipelines never yield invalid parent/child splits."""
+    n_children = data.draw(st.integers(min_value=1, max_value=3))
+    spec_dict = {
+        "data": [
+            {"name": "source", "table": "t"},
+            {
+                "name": "filtered",
+                "source": "source",
+                "transform": [{"type": "filter", "expr": "datum.w > 0"}],
+            },
+        ],
+        "marks": [],
+    }
+    for index in range(n_children):
+        spec_dict["data"].append(
+            {
+                "name": f"agg{index}",
+                "source": "filtered",
+                "transform": [
+                    {"type": "aggregate", "groupby": ["g"], "ops": ["count"], "as": ["n"]}
+                ],
+            }
+        )
+        spec_dict["marks"].append({"type": "rect", "from": {"data": f"agg{index}"}})
+    spec = parse_spec_dict(spec_dict)
+    plans = PlanEnumerator(spec).enumerate()
+    for plan in plans:
+        assignment = plan.as_dict()
+        for index in range(n_children):
+            if assignment[f"agg{index}"] > 0:
+                assert assignment["filtered"] == 1
+    # 1 (filtered client) + 2^children (filtered server, each child free).
+    assert len(plans) == 1 + 2 ** n_children
+
+
+# --------------------------------------------------------------------------- #
+# Serialization estimates
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=30)
+@given(n_rows=st.integers(min_value=0, max_value=500))
+def test_arrow_payload_monotone_in_rows(n_rows):
+    from repro.net.serialize import ArrowCodec
+
+    rows = [{"a": float(i), "b": "x" * 5} for i in range(n_rows)]
+    smaller = ArrowCodec().estimate(rows[: n_rows // 2])
+    larger = ArrowCodec().estimate(rows)
+    assert larger.payload_bytes >= smaller.payload_bytes
+    assert larger.encode_seconds >= 0 and larger.decode_seconds >= 0

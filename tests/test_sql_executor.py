@@ -1,0 +1,254 @@
+"""End-to-end tests of the SQL engine (parser → planner → executor)."""
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError, PlanningError
+from repro.sql import Database
+
+
+@pytest.fixture()
+def db(tiny_table_rows):
+    database = Database()
+    database.register_rows("tiny", tiny_table_rows)
+    return database
+
+
+def rows(db, sql):
+    return db.execute(sql).to_rows()
+
+
+# --------------------------------------------------------------------------- #
+# Projection, filtering, expressions
+# --------------------------------------------------------------------------- #
+
+
+def test_select_star(db):
+    assert len(rows(db, "SELECT * FROM tiny")) == 5
+
+
+def test_select_columns_and_alias(db):
+    result = rows(db, "SELECT category AS c, value FROM tiny")
+    assert set(result[0]) == {"c", "value"}
+
+
+def test_where_comparison_and_logic(db):
+    result = rows(db, "SELECT value FROM tiny WHERE value > 10 AND value < 50")
+    assert sorted(r["value"] for r in result) == [20, 30]
+
+
+def test_where_nulls_are_excluded(db):
+    result = rows(db, "SELECT value FROM tiny WHERE value > 0")
+    assert len(result) == 4  # the NULL row never satisfies a comparison
+
+
+def test_where_is_null(db):
+    assert len(rows(db, "SELECT * FROM tiny WHERE value IS NULL")) == 1
+    assert len(rows(db, "SELECT * FROM tiny WHERE value IS NOT NULL")) == 4
+
+
+def test_where_in_list_and_string_equality(db):
+    result = rows(db, "SELECT * FROM tiny WHERE category IN ('a', 'c')")
+    assert len(result) == 3
+    result = rows(db, "SELECT * FROM tiny WHERE category = 'b'")
+    assert len(result) == 2
+
+
+def test_where_between_and_not(db):
+    assert len(rows(db, "SELECT * FROM tiny WHERE value BETWEEN 20 AND 30")) == 2
+    assert len(rows(db, "SELECT * FROM tiny WHERE NOT value > 20")) == 2
+
+
+def test_arithmetic_and_scalar_functions(db):
+    result = rows(db, "SELECT value * 2 + 1 AS derived, FLOOR(value / 15) AS bucket FROM tiny WHERE value = 30")
+    assert result[0]["derived"] == 61
+    assert result[0]["bucket"] == 2
+
+
+def test_case_expression(db):
+    result = rows(
+        db,
+        "SELECT category, CASE WHEN value >= 30 THEN 'high' ELSE 'low' END AS level "
+        "FROM tiny WHERE value IS NOT NULL ORDER BY value",
+    )
+    assert [r["level"] for r in result] == ["low", "low", "high", "high"]
+
+
+def test_division_by_zero_yields_null(db):
+    result = rows(db, "SELECT value / 0 AS broken FROM tiny WHERE value = 10")
+    assert result[0]["broken"] is None
+
+
+def test_string_functions_and_concat(db):
+    result = rows(db, "SELECT UPPER(category) AS u, category || '!' AS c FROM tiny WHERE value = 10")
+    assert result[0] == {"u": "A", "c": "a!"}
+
+
+# --------------------------------------------------------------------------- #
+# Aggregation
+# --------------------------------------------------------------------------- #
+
+
+def test_global_aggregates(db):
+    result = rows(db, "SELECT COUNT(*) AS n, SUM(value) AS s, AVG(value) AS a, MIN(value) AS lo, MAX(value) AS hi FROM tiny")
+    assert result == [{"n": 5, "s": 110, "a": 27.5, "lo": 10, "hi": 50}]
+
+
+def test_count_column_skips_nulls(db):
+    result = rows(db, "SELECT COUNT(value) AS n FROM tiny")
+    assert result[0]["n"] == 4
+
+
+def test_group_by_with_order(db):
+    result = rows(db, "SELECT category, COUNT(*) AS n FROM tiny GROUP BY category ORDER BY category")
+    assert result == [
+        {"category": "a", "n": 2},
+        {"category": "b", "n": 2},
+        {"category": "c", "n": 1},
+    ]
+
+
+def test_group_by_expression_alias(db):
+    result = rows(
+        db,
+        "SELECT FLOOR(weight / 2) AS bucket, COUNT(*) AS n FROM tiny GROUP BY bucket ORDER BY bucket",
+    )
+    assert [r["bucket"] for r in result] == [0, 1, 2]
+
+
+def test_having_filters_groups(db):
+    result = rows(
+        db,
+        "SELECT category, COUNT(*) AS n FROM tiny GROUP BY category HAVING COUNT(*) > 1 ORDER BY category",
+    )
+    assert [r["category"] for r in result] == ["a", "b"]
+
+
+def test_aggregate_of_empty_input(db):
+    result = rows(db, "SELECT COUNT(*) AS n, SUM(value) AS s FROM tiny WHERE value > 1000")
+    assert result == [{"n": 0, "s": None}]
+
+
+def test_count_distinct(db):
+    result = rows(db, "SELECT COUNT(DISTINCT category) AS n FROM tiny")
+    assert result[0]["n"] == 3
+
+
+def test_median_and_stddev(db):
+    result = rows(db, "SELECT MEDIAN(value) AS m, STDDEV(value) AS s FROM tiny")
+    assert result[0]["m"] == 25
+    assert result[0]["s"] == pytest.approx(17.078, abs=0.01)
+
+
+def test_group_by_requires_grouped_items(db):
+    with pytest.raises(PlanningError):
+        db.execute("SELECT value, COUNT(*) FROM tiny GROUP BY category")
+
+
+def test_aggregate_in_where_rejected(db):
+    with pytest.raises(PlanningError):
+        db.execute("SELECT category FROM tiny WHERE COUNT(*) > 1")
+
+
+# --------------------------------------------------------------------------- #
+# Sorting, limits, distinct, subqueries, windows
+# --------------------------------------------------------------------------- #
+
+
+def test_order_by_multiple_keys_and_nulls_last(db):
+    result = rows(db, "SELECT category, value FROM tiny ORDER BY category, value DESC")
+    assert result[0] == {"category": "a", "value": 20}
+    # PostgreSQL semantics: DESC places NULLs first within the 'b' group.
+    assert result[2]["value"] is None
+    assert result[3]["value"] == 30
+
+
+def test_limit_offset(db):
+    result = rows(db, "SELECT value FROM tiny ORDER BY weight LIMIT 2 OFFSET 1")
+    assert [r["value"] for r in result] == [20, 30]
+
+
+def test_distinct(db):
+    result = rows(db, "SELECT DISTINCT category FROM tiny")
+    assert len(result) == 3
+
+
+def test_subquery_in_from(db):
+    result = rows(
+        db,
+        "SELECT category, COUNT(*) AS n FROM "
+        "(SELECT * FROM tiny WHERE value > 10) AS sub GROUP BY category ORDER BY category",
+    )
+    assert result == [{"category": "a", "n": 1}, {"category": "b", "n": 1}, {"category": "c", "n": 1}]
+
+
+def test_window_running_sum(db):
+    result = rows(
+        db,
+        "SELECT category, weight, SUM(weight) OVER (PARTITION BY category ORDER BY weight) AS cumulative FROM tiny ORDER BY category, weight",
+    )
+    by_category = {}
+    for row in result:
+        by_category.setdefault(row["category"], []).append(row["cumulative"])
+    assert by_category["a"] == [1, 3]
+    assert by_category["b"] == [3, 7]
+
+
+def test_window_row_number(db):
+    result = rows(
+        db,
+        "SELECT category, ROW_NUMBER() OVER (PARTITION BY category ORDER BY weight) AS rn FROM tiny ORDER BY category, rn",
+    )
+    assert [r["rn"] for r in result if r["category"] == "a"] == [1, 2]
+
+
+def test_window_without_order_is_partition_total(db):
+    result = rows(
+        db,
+        "SELECT category, SUM(weight) OVER (PARTITION BY category) AS total FROM tiny ORDER BY category",
+    )
+    totals = {r["category"]: r["total"] for r in result}
+    assert totals == {"a": 3, "b": 7, "c": 5}
+
+
+# --------------------------------------------------------------------------- #
+# Engine-level behaviour
+# --------------------------------------------------------------------------- #
+
+
+def test_unknown_table_and_column(db):
+    with pytest.raises(CatalogError):
+        db.execute("SELECT * FROM missing")
+    with pytest.raises(ExecutionError):
+        db.execute("SELECT missing_column FROM tiny")
+
+
+def test_unknown_function(db):
+    with pytest.raises(ExecutionError):
+        db.execute("SELECT FROBNICATE(value) FROM tiny")
+
+
+def test_explain_returns_plan_text(db):
+    result = db.execute("EXPLAIN SELECT category, COUNT(*) FROM tiny GROUP BY category")
+    text = "\n".join(str(r["plan"]) for r in result.to_rows())
+    assert "Aggregate" in text and "Scan(tiny)" in text
+
+
+def test_engine_metrics_accumulate(db):
+    db.execute("SELECT * FROM tiny")
+    db.execute("SELECT COUNT(*) FROM tiny")
+    assert db.metrics.queries_executed >= 2
+    assert db.metrics.total_rows_returned >= 6
+    assert len(db.metrics.query_log) >= 2
+
+
+def test_register_columns_and_drop(db):
+    db.register_columns("extra", {"a": [1, 2, 3]})
+    assert db.query_rows("SELECT COUNT(*) AS n FROM extra") == [{"n": 3}]
+    db.drop_table("extra")
+    assert "extra" not in db.table_names()
+
+
+def test_explain_estimates_cardinality(flights_db):
+    estimate = flights_db.explain("SELECT carrier, COUNT(*) FROM flights GROUP BY carrier")
+    assert estimate.total_cost > 0
+    assert 0 < estimate.estimated_rows <= 500

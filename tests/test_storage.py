@@ -1,0 +1,183 @@
+"""Tests for columns, tables, catalog and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage import Catalog, Column, ColumnType, Table, compute_table_statistics
+from repro.storage.statistics import compute_column_statistics
+
+
+# --------------------------------------------------------------------------- #
+# Column
+# --------------------------------------------------------------------------- #
+
+
+def test_column_type_inference_numeric():
+    column = Column.from_values("x", [1, 2.5, None, 4])
+    assert column.ctype is ColumnType.NUMERIC
+    assert column.to_pylist() == [1, 2.5, None, 4]
+
+
+def test_column_type_inference_string():
+    column = Column.from_values("x", ["a", None, "b"])
+    assert column.ctype is ColumnType.STRING
+    assert column.to_pylist() == ["a", None, "b"]
+
+
+def test_column_null_mask():
+    column = Column.from_values("x", [1, None, 3])
+    assert list(column.null_mask()) == [False, True, False]
+
+
+def test_column_take_and_filter():
+    column = Column.from_values("x", [10, 20, 30, 40])
+    assert column.take(np.array([3, 0])).to_pylist() == [40, 10]
+    assert column.filter(np.array([True, False, True, False])).to_pylist() == [10, 30]
+
+
+def test_column_rename_and_nbytes():
+    column = Column.from_values("x", [1.0, 2.0])
+    assert column.rename("y").name == "y"
+    assert column.nbytes() == 16
+
+
+# --------------------------------------------------------------------------- #
+# Table
+# --------------------------------------------------------------------------- #
+
+
+def test_table_from_rows_and_back(tiny_table_rows):
+    table = Table.from_rows(tiny_table_rows)
+    assert table.num_rows == 5
+    assert table.column_names() == ["category", "value", "weight"]
+    assert table.to_rows()[0] == {"category": "a", "value": 10, "weight": 1}
+
+
+def test_table_from_columns_and_select():
+    table = Table.from_columns({"a": [1, 2], "b": ["x", "y"]})
+    selected = table.select(["b"])
+    assert selected.column_names() == ["b"]
+    assert selected.to_columns() == {"b": ["x", "y"]}
+
+
+def test_table_rejects_mismatched_columns():
+    with pytest.raises(ValueError):
+        Table([Column.from_values("a", [1]), Column.from_values("b", [1, 2])])
+    with pytest.raises(ValueError):
+        Table([Column.from_values("a", [1]), Column.from_values("a", [2])])
+
+
+def test_table_filter_take_slice(tiny_table_rows):
+    table = Table.from_rows(tiny_table_rows)
+    filtered = table.filter(np.array([True, False, True, False, True]))
+    assert filtered.num_rows == 3
+    taken = table.take(np.array([4, 0]))
+    assert taken.to_rows()[0]["category"] == "c"
+    assert table.slice(1, 2).num_rows == 2
+
+
+def test_table_with_column_and_rename(tiny_table_rows):
+    table = Table.from_rows(tiny_table_rows)
+    extended = table.with_column(Column.from_values("double", [2.0] * 5))
+    assert "double" in extended.column_names()
+    renamed = table.rename_columns({"value": "v"})
+    assert "v" in renamed.column_names()
+    assert "value" not in renamed.column_names()
+
+
+def test_table_concat_and_mismatch(tiny_table_rows):
+    table = Table.from_rows(tiny_table_rows)
+    combined = table.concat(table)
+    assert combined.num_rows == 10
+    other = Table.from_columns({"different": [1]})
+    with pytest.raises(ValueError):
+        table.concat(other)
+
+
+def test_table_missing_column_error(tiny_table_rows):
+    table = Table.from_rows(tiny_table_rows, name="tiny")
+    with pytest.raises(CatalogError):
+        table.column("nope")
+
+
+def test_table_missing_keys_become_null():
+    table = Table.from_rows([{"a": 1}, {"b": 2}])
+    rows = table.to_rows()
+    assert rows[0]["b"] is None
+    assert rows[1]["a"] is None
+
+
+def test_empty_table():
+    table = Table.empty(["a", "b"])
+    assert table.num_rows == 0
+    assert table.column_names() == ["a", "b"]
+
+
+# --------------------------------------------------------------------------- #
+# Catalog
+# --------------------------------------------------------------------------- #
+
+
+def test_catalog_register_and_get(tiny_table_rows):
+    catalog = Catalog()
+    catalog.register_rows("tiny", tiny_table_rows)
+    assert catalog.has("tiny")
+    assert catalog.get("tiny").num_rows == 5
+    assert catalog.table_names() == ["tiny"]
+
+
+def test_catalog_duplicate_and_replace(tiny_table_rows):
+    catalog = Catalog()
+    catalog.register_rows("tiny", tiny_table_rows)
+    with pytest.raises(CatalogError):
+        catalog.register_rows("tiny", tiny_table_rows)
+    catalog.register_rows("tiny", tiny_table_rows[:2], replace=True)
+    assert catalog.get("tiny").num_rows == 2
+
+
+def test_catalog_drop_and_missing(tiny_table_rows):
+    catalog = Catalog()
+    catalog.register_rows("tiny", tiny_table_rows)
+    catalog.drop("tiny")
+    assert not catalog.has("tiny")
+    with pytest.raises(CatalogError):
+        catalog.get("tiny")
+    with pytest.raises(CatalogError):
+        catalog.drop("tiny")
+    with pytest.raises(CatalogError):
+        catalog.register("", Table.from_rows(tiny_table_rows))
+
+
+# --------------------------------------------------------------------------- #
+# Statistics
+# --------------------------------------------------------------------------- #
+
+
+def test_column_statistics_numeric(tiny_table_rows):
+    table = Table.from_rows(tiny_table_rows)
+    stats = compute_column_statistics(table.column("value"))
+    assert stats.num_values == 5
+    assert stats.num_nulls == 1
+    assert stats.minimum == 10
+    assert stats.maximum == 50
+    assert stats.num_distinct == 4
+    assert 0 < stats.null_fraction < 1
+
+
+def test_column_statistics_string(tiny_table_rows):
+    table = Table.from_rows(tiny_table_rows)
+    stats = compute_column_statistics(table.column("category"))
+    assert stats.num_distinct == 3
+    assert stats.selectivity_equals() == pytest.approx(1 / 3)
+
+
+def test_table_statistics_and_range_selectivity(tiny_table_rows):
+    table = Table.from_rows(tiny_table_rows, name="tiny")
+    stats = compute_table_statistics(table)
+    assert stats.num_rows == 5
+    value_stats = stats.column("value")
+    assert value_stats.selectivity_range(10, 30) == pytest.approx(0.5)
+    assert value_stats.selectivity_range(None, 1000) == 1.0
+    assert value_stats.selectivity_range(100, 200) == 0.0
+    assert stats.column("missing") is None

@@ -1,0 +1,136 @@
+"""Tests for the Vega specification layer and client runtime."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.vega import VegaRuntime, compile_spec, parse_spec_dict
+
+
+# --------------------------------------------------------------------------- #
+# Spec parsing and validation
+# --------------------------------------------------------------------------- #
+
+
+def test_parse_spec_basic_structure(histogram_spec):
+    spec = parse_spec_dict(histogram_spec)
+    assert spec.data_names() == ["source", "binned"]
+    assert spec.signal_names() == ["maxbins", "min_delay"]
+    assert spec.total_transforms() == 4
+    assert spec.referenced_datasets() == {"binned"}
+
+
+def test_spec_operator_vs_interaction_signals(histogram_spec):
+    spec = parse_spec_dict(histogram_spec)
+    assert spec.operator_signal_names() == {"delay_extent"}
+    assert spec.interaction_signal_names() == {"maxbins", "min_delay"}
+
+
+def test_spec_data_entry_lookup(histogram_spec):
+    spec = parse_spec_dict(histogram_spec)
+    entry = spec.data_entry("binned")
+    assert entry.source == "source"
+    assert not entry.is_root()
+    assert entry.output_signals() == ["delay_extent"]
+    with pytest.raises(SpecError):
+        spec.data_entry("missing")
+
+
+def test_spec_validation_errors():
+    with pytest.raises(SpecError):
+        parse_spec_dict({"data": [{"name": "a", "source": "missing"}]})
+    with pytest.raises(SpecError):
+        parse_spec_dict({"data": [{"name": "a"}]})  # no table/values/source
+    with pytest.raises(SpecError):
+        parse_spec_dict({"data": [{"name": "a", "values": []}, {"name": "a", "values": []}]})
+    with pytest.raises(SpecError):
+        parse_spec_dict(
+            {"data": [{"name": "a", "values": []}],
+             "marks": [{"type": "rect", "from": {"data": "nope"}}]}
+        )
+    with pytest.raises(SpecError):
+        parse_spec_dict(
+            {"data": [{"name": "a", "values": [], "transform": ["bad"]}]}
+        )
+    with pytest.raises(SpecError):
+        parse_spec_dict("not a dict")
+
+
+# --------------------------------------------------------------------------- #
+# Spec compilation
+# --------------------------------------------------------------------------- #
+
+
+def test_compile_spec_builds_expected_operators(histogram_spec, flights_rows):
+    dataflow = compile_spec(histogram_spec, {"flights": flights_rows})
+    # 1 source + 4 transforms
+    assert dataflow.num_operators() == 5
+    assert set(dataflow.dataset_names()) == {"source", "binned"}
+    assert "delay_extent" in dataflow.operator_names()
+
+
+def test_compile_spec_missing_provider(histogram_spec):
+    with pytest.raises(SpecError):
+        compile_spec(histogram_spec)
+    with pytest.raises(SpecError):
+        compile_spec(histogram_spec, {"not_flights": []})
+
+
+def test_compile_spec_inline_values():
+    spec = {
+        "data": [
+            {"name": "inline", "values": [{"x": 1}, {"x": 5}],
+             "transform": [{"type": "extent", "field": "x", "signal": "ext"}]},
+        ],
+    }
+    dataflow = compile_spec(spec)
+    dataflow.run()
+    assert dataflow.named_operator("ext").last_result.value == [1.0, 5.0]
+
+
+# --------------------------------------------------------------------------- #
+# Runtime
+# --------------------------------------------------------------------------- #
+
+
+def test_runtime_initialize_and_dataset(histogram_spec, flights_rows):
+    runtime = VegaRuntime(histogram_spec, {"flights": flights_rows})
+    result = runtime.initialize()
+    assert result.evaluated_operator_count == 5
+    assert result.elapsed_seconds > 0
+    binned = runtime.dataset("binned")
+    assert sum(r["count"] for r in binned) == sum(
+        1 for r in flights_rows if (r["delay"] or -1) >= 0
+    )
+
+
+def test_runtime_interaction_partial_reevaluation(histogram_spec, flights_rows):
+    runtime = VegaRuntime(histogram_spec, {"flights": flights_rows})
+    runtime.initialize()
+    before = len(runtime.dataset("binned"))
+    update = runtime.interact({"maxbins": 40})
+    after = len(runtime.dataset("binned"))
+    assert update.evaluated_operator_count == 2  # bin + aggregate only
+    assert after > before
+    assert runtime.signal_value("maxbins") == 40
+    assert runtime.render_count == 2
+    assert runtime.total_client_seconds > 0
+
+
+def test_runtime_filter_interaction(histogram_spec, flights_rows):
+    runtime = VegaRuntime(histogram_spec, {"flights": flights_rows})
+    runtime.initialize()
+    update = runtime.interact({"min_delay": 200})
+    # Filter, extent, bin and aggregate all depend (directly or transitively).
+    assert update.evaluated_operator_count == 4
+    binned = runtime.dataset("binned")
+    total = sum(r["count"] for r in binned)
+    expected = sum(1 for r in flights_rows if r["delay"] is not None and r["delay"] >= 200)
+    assert total == expected
+
+
+def test_runtime_dataset_cardinalities(histogram_spec, flights_rows):
+    runtime = VegaRuntime(histogram_spec, {"flights": flights_rows})
+    runtime.initialize()
+    cardinalities = runtime.dataset_cardinalities()
+    assert cardinalities["source"] == len(flights_rows)
+    assert cardinalities["binned"] >= 1
