@@ -6,17 +6,21 @@ interaction-only time can be slightly higher for VegaPlus on small data.
 """
 
 from repro.bench.experiments import figure8
+from repro.bench.scale import bench_scale, scaled_size
 
 #: Interactive templates compared (a subset keeps the benchmark quick; the
 #: runner accepts all interactive templates).
 TEMPLATES = ("interactive_histogram", "heatmap_bar", "overview_detail")
+
+SCALE = bench_scale()
+SIZE = scaled_size(10_000, floor=1_000)
 
 
 def test_figure8_session_latency_vega_vs_vegaplus(benchmark, harness):
     result = benchmark.pedantic(
         figure8,
         kwargs={
-            "size": 10_000,
+            "size": SIZE,
             "templates": TEMPLATES,
             "interactions_per_session": 5,
             "harness": harness,
@@ -25,7 +29,15 @@ def test_figure8_session_latency_vega_vs_vegaplus(benchmark, harness):
         iterations=1,
     )
     print("\n" + str(result))
+    # At full scale VegaPlus must win every template; reduced-scale smoke
+    # runs only guard against gross regressions, since tiny datasets can
+    # legitimately favour the all-client plan on some templates.
+    threshold = 1.0 if SCALE >= 1.0 else 0.6
     for template in TEMPLATES:
         speedup = result.speedup(template)
         print(f"  speedup({template}) = {speedup:.2f}x")
-        assert speedup > 1.0, f"VegaPlus should beat Vega on {template}"
+        assert speedup > threshold, f"VegaPlus should beat Vega on {template}"
+    if SCALE < 1.0:
+        assert any(result.speedup(t) > 1.0 for t in TEMPLATES), (
+            "VegaPlus should beat Vega on at least one template even at smoke scale"
+        )

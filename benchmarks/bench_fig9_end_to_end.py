@@ -10,9 +10,10 @@ it may keep cheap interaction-only work on the client.
 """
 
 from repro.bench.experiments import figure9
+from repro.bench.scale import scaled_size
 
-SIZES = (2_000, 10_000)
-LARGE_SIZES = (30_000,)
+SIZES = (scaled_size(2_000), scaled_size(10_000, floor=2_000))
+LARGE_SIZES = (scaled_size(30_000, floor=5_000),)
 
 
 def test_figure9_scaling_vega_vegafusion_vegaplus(benchmark, harness):

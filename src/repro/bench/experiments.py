@@ -670,11 +670,13 @@ def figure8(
 
         plus_system = _fresh_system(configuration, harness, comparator)
         plus_system.optimize(anticipated_interactions=session)
+        configuration.database.clear_plan_cache()
         plus_results = plus_system.run_session(session)
 
         vega_system = VegaNativeSystem(
             configuration.spec, configuration.database, network=harness.network
         )
+        configuration.database.clear_plan_cache()
         vega_results = vega_system.run_session(session)
 
         for label, results in (("VegaPlus", plus_results), ("Vega", vega_results)):
@@ -771,6 +773,7 @@ def figure9(
             )
 
         for label, system in systems.items():
+            configuration.database.clear_plan_cache()
             results = system.run_session(session)
             updates = [r.total_seconds for r in results[1:]]
             result.rows_data.append(

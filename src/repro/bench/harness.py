@@ -42,6 +42,9 @@ class SessionMeasurement:
     episode_seconds: list[float] = field(default_factory=list)
     episode_vectors: list[PlanVector] = field(default_factory=list)
     breakdown: dict[str, float] = field(default_factory=dict)
+    #: Server-side engine counter deltas for this session (queries executed,
+    #: plan-cache hits/misses, rows grouped/sorted/deduplicated, ...).
+    engine_counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def initial_seconds(self) -> float:
@@ -65,6 +68,14 @@ class PlanMeasurement:
 
     plan: ExecutionPlan
     sessions: list[SessionMeasurement] = field(default_factory=list)
+
+    def engine_totals(self) -> dict[str, float]:
+        """Summed server-side engine counters across this plan's sessions."""
+        totals: dict[str, float] = {}
+        for session in self.sessions:
+            for key, value in session.engine_counters.items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
 
     def mean_initial_seconds(self) -> float:
         """Average initial-render latency across sessions."""
@@ -204,9 +215,20 @@ class BenchmarkHarness:
         encoder = PlanEncoder(configuration.database)
         measurement = SessionMeasurement(plan=plan)
 
+        # Each measured session starts with a cold plan cache so candidate
+        # plans are compared fairly regardless of measurement order; repeat
+        # queries *within* the session still hit the cache, which is the
+        # behaviour the interactive workloads are meant to exhibit.
+        configuration.database.clear_plan_cache()
+        counters_before = configuration.database.metrics.snapshot()
         results = [system.initialize()]
         for interaction in interactions:
             results.append(system.interact(interaction))
+        counters_after = configuration.database.metrics.snapshot()
+        measurement.engine_counters = {
+            key: counters_after[key] - counters_before.get(key, 0.0)
+            for key in counters_after
+        }
 
         totals = {"client": 0.0, "server": 0.0, "network": 0.0, "serialization": 0.0}
         for episode_index, result in enumerate(results):

@@ -1,0 +1,23 @@
+"""Workload scaling shared by the benchmark scripts and the CI smoke gate.
+
+``REPRO_BENCH_SCALE`` (a float, default 1.0) shrinks benchmark workloads
+uniformly; CI's benchmark-smoke job sets it to 0.25 so the suite runs in
+seconds while still recording the perf trajectory per PR.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_scale() -> float:
+    """The configured workload scale factor (> 0)."""
+    value = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    if value <= 0:
+        raise ValueError(f"REPRO_BENCH_SCALE must be positive, got {value}")
+    return value
+
+
+def scaled_size(n_rows: int, floor: int = 500) -> int:
+    """``n_rows`` scaled by :func:`bench_scale`, never below ``floor``."""
+    return max(floor, int(n_rows * bench_scale()))

@@ -9,6 +9,7 @@ VegaPlus optimizer and the benchmark harness can observe server-side work.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -61,6 +62,12 @@ class EngineMetrics:
     queries_executed: int = 0
     total_execution_seconds: float = 0.0
     total_rows_returned: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    total_rows_grouped: int = 0
+    total_groups_formed: int = 0
+    total_rows_sorted: int = 0
+    total_rows_deduplicated: int = 0
     query_log: list[str] = field(default_factory=list)
 
     def record(self, result: QueryResult, keep_log: bool) -> None:
@@ -68,15 +75,65 @@ class EngineMetrics:
         self.queries_executed += 1
         self.total_execution_seconds += result.elapsed_seconds
         self.total_rows_returned += result.num_rows
+        self.total_rows_grouped += result.stats.rows_grouped
+        self.total_groups_formed += result.stats.groups_formed
+        self.total_rows_sorted += result.stats.rows_sorted
+        self.total_rows_deduplicated += result.stats.rows_deduplicated
         if keep_log:
             self.query_log.append(result.sql)
+
+    def snapshot(self) -> dict[str, float]:
+        """Current counter values as a flat mapping (for delta reporting)."""
+        return {
+            "queries_executed": float(self.queries_executed),
+            "execution_seconds": float(self.total_execution_seconds),
+            "rows_returned": float(self.total_rows_returned),
+            "plan_cache_hits": float(self.plan_cache_hits),
+            "plan_cache_misses": float(self.plan_cache_misses),
+            "rows_grouped": float(self.total_rows_grouped),
+            "groups_formed": float(self.total_groups_formed),
+            "rows_sorted": float(self.total_rows_sorted),
+            "rows_deduplicated": float(self.total_rows_deduplicated),
+        }
 
     def reset(self) -> None:
         """Clear all counters (used between benchmark runs)."""
         self.queries_executed = 0
         self.total_execution_seconds = 0.0
         self.total_rows_returned = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.total_rows_grouped = 0
+        self.total_groups_formed = 0
+        self.total_rows_sorted = 0
+        self.total_rows_deduplicated = 0
         self.query_log.clear()
+
+
+def normalize_sql(sql: str) -> str:
+    """Collapse insignificant whitespace so equivalent query texts share a key.
+
+    Whitespace inside quoted string literals (single- or double-quoted,
+    both accepted by the tokenizer) is preserved; runs of whitespace
+    elsewhere collapse to one space.  Used as the prepared-plan cache key
+    so interactive clients re-issuing the same query with different
+    formatting still hit the cache.
+    """
+    out: list[str] = []
+    quote: str | None = None
+    for ch in sql:
+        if ch == quote:
+            quote = None
+            out.append(ch)
+        elif quote is None and ch in ("'", '"'):
+            quote = ch
+            out.append(ch)
+        elif quote is None and ch.isspace():
+            if out and out[-1] != " ":
+                out.append(" ")
+        else:
+            out.append(ch)
+    return "".join(out).strip()
 
 
 class Database:
@@ -89,9 +146,11 @@ class Database:
         :attr:`metrics` — handy for tests and for the caching layer.
     """
 
-    def __init__(self, keep_query_log: bool = True) -> None:
+    def __init__(self, keep_query_log: bool = True, plan_cache_size: int = 256) -> None:
         self._catalog = Catalog()
         self._keep_query_log = keep_query_log
+        self._plan_cache: OrderedDict[str, LogicalPlan] = OrderedDict()
+        self._plan_cache_size = plan_cache_size
         self.metrics = EngineMetrics()
 
     # ------------------------------------------------------------------ #
@@ -142,9 +201,31 @@ class Database:
     # Query execution
     # ------------------------------------------------------------------ #
     def plan(self, sql: str) -> LogicalPlan:
-        """Parse and optimise ``sql`` without executing it."""
-        statement = parse_sql(sql)
-        return optimize_plan(build_logical_plan(statement))
+        """Parse and optimise ``sql``, memoising the result.
+
+        Plans are cached in an LRU keyed on whitespace-normalised SQL, so
+        repeated interactive queries (crossfilter, overview+detail) skip
+        the tokenize → parse → plan → optimise pipeline entirely.  Plans
+        resolve table names at execution time, so catalog changes never
+        invalidate cached entries.
+        """
+        key = normalize_sql(sql)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._plan_cache.move_to_end(key)
+            self.metrics.plan_cache_hits += 1
+            return cached
+        self.metrics.plan_cache_misses += 1
+        plan = optimize_plan(build_logical_plan(parse_sql(sql)))
+        if self._plan_cache_size > 0:
+            self._plan_cache[key] = plan
+            if len(self._plan_cache) > self._plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return plan
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached prepared plans."""
+        self._plan_cache.clear()
 
     def explain(self, sql: str) -> QueryCostEstimate:
         """Return the cost estimate the engine's EXPLAIN would produce."""
@@ -157,8 +238,7 @@ class Database:
         ``EXPLAIN SELECT ...`` queries return a single-column table with
         the textual plan instead of executing the query.
         """
-        statement = parse_sql(sql)
-        plan = optimize_plan(build_logical_plan(statement))
+        plan = self.plan(sql)
         if plan.explain:
             estimate = CostEstimator(self._catalog).estimate(plan)
             table = Table.from_columns({"plan": estimate.pretty().split("\n")})

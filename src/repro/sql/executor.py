@@ -9,6 +9,7 @@ to exactly 1.0.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,7 +26,6 @@ from repro.sql.ast_nodes import (
     IsNull,
     Literal,
     OrderItem,
-    SelectItem,
     Star,
     UnaryOp,
     WindowFunction,
@@ -34,6 +34,7 @@ from repro.sql.ast_nodes import (
 from repro.sql.functions import (
     AGGREGATE_KERNELS,
     apply_aggregate,
+    apply_aggregate_segments,
     apply_scalar_function,
     is_string_array,
     null_mask,
@@ -52,8 +53,8 @@ from repro.sql.planner import (
     WindowNode,
 )
 from repro.storage.catalog import Catalog
-from repro.storage.column import Column, ColumnType
-from repro.storage.table import Table
+from repro.storage.column import Column, ColumnType, factorize_array, sort_rank_key
+from repro.storage.table import Table, group_segments
 
 
 # --------------------------------------------------------------------------- #
@@ -68,6 +69,10 @@ class ExecutionStats:
     rows_scanned: int = 0
     rows_output: int = 0
     operators_executed: int = 0
+    rows_grouped: int = 0
+    groups_formed: int = 0
+    rows_sorted: int = 0
+    rows_deduplicated: int = 0
 
     def record(self, node_rows: int) -> None:
         """Record one operator execution producing ``node_rows`` rows."""
@@ -485,91 +490,78 @@ class Executor:
         n = table.num_rows
 
         if group_arrays:
-            group_indices = self._group_rows(group_arrays, n)
+            codes = [factorize_array(arr)[0] for arr in group_arrays]
+            order, starts, ends = group_segments(codes, n)
         else:
-            group_indices = {(): np.arange(n)} if n >= 0 else {}
-
-        output_names: list[str] = []
-        output_values: list[list[object]] = []
-        for index, item in enumerate(node.items):
-            output_names.append(item.output_name(index))
-            output_values.append([])
-
-        sorted_groups = sorted(group_indices.items(), key=lambda kv: _group_sort_key(kv[0]))
-        for key, indices in sorted_groups:
-            subset = table.take(indices)
-            sub_evaluator = ExpressionEvaluator(
-                subset,
-                alias_values={k: v[indices] for k, v in alias_arrays.items()},
-            )
-            for item_index, item in enumerate(node.items):
-                value = self._aggregate_item(item, sub_evaluator, subset)
-                output_values[item_index].append(value)
+            order, starts, ends = group_segments([], n)
+        stats.rows_grouped += n
+        stats.groups_formed += len(starts)
 
         columns = [
-            Column.from_values(name, values)
-            for name, values in zip(output_names, output_values)
+            Column.from_values(
+                item.output_name(index),
+                self._evaluate_aggregate_expression(
+                    item.expression, evaluator, order, starts, ends
+                ),
+            )
+            for index, item in enumerate(node.items)
         ]
         result = Table(columns, name=table.name)
         stats.record(result.num_rows)
         return result
 
     @staticmethod
-    def _group_rows(group_arrays: list[np.ndarray], n: int) -> dict[tuple, np.ndarray]:
-        keys: dict[tuple, list[int]] = {}
-        normalised: list[list[object]] = []
-        for arr in group_arrays:
-            if is_string_array(arr):
-                normalised.append([None if v is None else v for v in arr])
-            else:
-                normalised.append(
-                    [None if np.isnan(v) else float(v) for v in arr]
-                )
-        for i in range(n):
-            key = tuple(col[i] for col in normalised)
-            keys.setdefault(key, []).append(i)
-        return {key: np.array(idx, dtype=np.int64) for key, idx in keys.items()}
-
-    def _aggregate_item(
-        self,
-        item: SelectItem,
-        evaluator: ExpressionEvaluator,
-        subset: Table,
-    ) -> object:
-        expr = item.expression
-        return self._evaluate_aggregate_expression(expr, evaluator, subset)
+    def _group_rows(group_arrays: list[np.ndarray], n: int) -> list[np.ndarray]:
+        """Row-index arrays of each group, in deterministic key order."""
+        return group_rows_vectorized(group_arrays, n)
 
     def _evaluate_aggregate_expression(
         self,
         expr: Expression,
         evaluator: ExpressionEvaluator,
-        subset: Table,
-    ) -> object:
+        order: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+    ) -> list[object]:
+        """Evaluate one SELECT item to a value per group segment.
+
+        Aggregate arguments are evaluated once over the whole input table
+        and reduced per segment of the group-sorted row ``order``; scalar
+        combinations recurse and merge the per-group lists.
+        """
+        n_groups = len(starts)
         if isinstance(expr, FunctionCall) and expr.name.upper() in AGGREGATE_KERNELS:
             if expr.is_star:
-                return float(subset.num_rows)
+                return [float(end - start) for start, end in zip(starts, ends)]
             if not expr.args:
                 raise ExecutionError(f"aggregate {expr.name} requires an argument")
             values = evaluator.evaluate(expr.args[0])
-            return apply_aggregate(expr.name, values, expr.distinct)
+            return apply_aggregate_segments(
+                expr.name, values[order], starts, ends, expr.distinct
+            )
         if isinstance(expr, BinaryOp):
-            left = self._evaluate_aggregate_expression(expr.left, evaluator, subset)
-            right = self._evaluate_aggregate_expression(expr.right, evaluator, subset)
-            return _combine_scalar(expr.op, left, right)
+            left = self._evaluate_aggregate_expression(expr.left, evaluator, order, starts, ends)
+            right = self._evaluate_aggregate_expression(expr.right, evaluator, order, starts, ends)
+            return [_combine_scalar(expr.op, lv, rv) for lv, rv in zip(left, right)]
         if isinstance(expr, UnaryOp) and expr.op == "-":
-            value = self._evaluate_aggregate_expression(expr.operand, evaluator, subset)
-            return None if value is None else -float(value)
+            inner = self._evaluate_aggregate_expression(expr.operand, evaluator, order, starts, ends)
+            return [None if value is None else -float(value) for value in inner]
         if isinstance(expr, Literal):
-            return expr.value
-        # Non-aggregate expression inside a group: all rows share the value,
-        # so evaluate per-row and take the first entry.
+            return [expr.value] * n_groups
+        # Non-aggregate expression inside a group: all rows of a group share
+        # the value, so evaluate once and take each group's first row.
         values = evaluator.evaluate(expr)
-        if len(values) == 0:
-            return None
-        value = values[0]
-        if is_string_array(values):
-            return value
-        return None if np.isnan(value) else float(value)
+        out: list[object] = []
+        for start, end in zip(starts, ends):
+            if start == end:
+                out.append(None)
+                continue
+            value = values[order[start]]
+            if is_string_array(values):
+                out.append(value)
+            else:
+                out.append(None if np.isnan(value) else float(value))
+        return out
 
     def _execute_window(self, node: WindowNode, stats: ExecutionStats) -> Table:
         table = self._execute_node(node.child, stats)
@@ -587,14 +579,14 @@ class Executor:
         if partition_arrays:
             partitions = self._group_rows(partition_arrays, n)
         else:
-            partitions = {(): np.arange(n)}
+            partitions = [np.arange(n)]
 
         order_keys = window.order_by
         func = window.function
         name = func.name.upper()
         out = np.full(n, np.nan, dtype=np.float64)
 
-        for _, indices in partitions.items():
+        for indices in partitions:
             subset = table.take(indices)
             sub_eval = ExpressionEvaluator(subset)
             if order_keys:
@@ -678,6 +670,7 @@ class Executor:
         evaluator = ExpressionEvaluator(table)
         order = _sort_indices(evaluator, table, node.keys)
         result = table.take(order)
+        stats.rows_sorted += table.num_rows
         stats.record(result.num_rows)
         return result
 
@@ -690,52 +683,114 @@ class Executor:
 
     def _execute_distinct(self, node: DistinctNode, stats: ExecutionStats) -> Table:
         table = self._execute_node(node.child, stats)
-        rows = table.to_rows()
-        seen: set[tuple] = set()
-        keep: list[int] = []
-        for index, row in enumerate(rows):
-            key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
-            if key not in seen:
-                seen.add(key)
-                keep.append(index)
-        result = table.take(np.array(keep, dtype=np.int64))
+        stats.rows_deduplicated += table.num_rows
+        result = table.take(table.distinct_indices())
         stats.record(result.num_rows)
         return result
 
 
+# --------------------------------------------------------------------------- #
+# Group-by / order-by / distinct kernels
+#
+# The vectorized kernels are the production path; the *_reference variants
+# retain the naive row-at-a-time implementations and exist solely so the
+# property-based differential tests can check the kernels against them.
+# Both paths share one deterministic ordering: numbers < strings < NULL
+# (``sort_rank_key``), with ORDER BY treating NULL as the largest value
+# (last under ASC, first under DESC — PostgreSQL semantics).
+# --------------------------------------------------------------------------- #
+
+
+def _normalise_group_value(value: object) -> object:
+    """NULL-normalise one grouping value (NaN and None collapse to None)."""
+    if value is None:
+        return None
+    if isinstance(value, (float, np.floating)) and np.isnan(value):
+        return None
+    return value
+
+
+def group_rows_vectorized(group_arrays: Sequence[np.ndarray], n: int) -> list[np.ndarray]:
+    """Vectorized grouping: factorized codes + one lexsort over the codes.
+
+    Returns each group's row indices (ascending within a group) with the
+    groups themselves in deterministic key order.
+    """
+    codes = [factorize_array(arr)[0] for arr in group_arrays]
+    order, starts, ends = group_segments(codes, n)
+    return [order[start:end] for start, end in zip(starts, ends)]
+
+
+def group_rows_reference(group_arrays: Sequence[np.ndarray], n: int) -> list[np.ndarray]:
+    """Naive reference grouping: a dict of normalised key tuples."""
+    normalised: list[list[object]] = []
+    for arr in group_arrays:
+        if is_string_array(arr):
+            normalised.append([_normalise_group_value(v) for v in arr])
+        else:
+            normalised.append([None if np.isnan(v) else float(v) for v in arr])
+    keys: dict[tuple, list[int]] = {}
+    for i in range(n):
+        key = tuple(col[i] for col in normalised)
+        keys.setdefault(key, []).append(i)
+    ordered = sorted(keys.items(), key=lambda kv: _group_sort_key(kv[0]))
+    return [np.array(indices, dtype=np.int64) for _, indices in ordered]
+
+
+def sort_indices_vectorized(
+    key_arrays: Sequence[np.ndarray], descending: Sequence[bool], n: int
+) -> np.ndarray:
+    """Stable multi-key sort via one ``np.lexsort`` over factorized codes.
+
+    Factorized codes already order uniques by the deterministic rank with
+    NULL largest, so DESC simply negates the codes (putting NULLs first).
+    """
+    if not key_arrays:
+        return np.arange(n, dtype=np.int64)
+    lex_keys = []
+    for values, desc in zip(key_arrays, descending):
+        codes, _uniques = factorize_array(values)
+        lex_keys.append(-codes if desc else codes)
+    return np.lexsort(tuple(reversed(lex_keys))).astype(np.int64)
+
+
+def sort_indices_reference(
+    key_arrays: Sequence[np.ndarray], descending: Sequence[bool], n: int
+) -> np.ndarray:
+    """Naive reference sort: repeated stable Python sorts, least key first."""
+    indices = list(range(n))
+    for values, desc in reversed(list(zip(key_arrays, descending))):
+        indices.sort(
+            key=lambda i: sort_rank_key(_normalise_group_value(values[i])),
+            reverse=desc,
+        )
+    return np.array(indices, dtype=np.int64)
+
+
+def distinct_indices_reference(table: Table) -> np.ndarray:
+    """Naive reference DISTINCT: first occurrence of each materialised row."""
+    seen: set[tuple] = set()
+    keep: list[int] = []
+    for index, row in enumerate(table.to_rows()):
+        key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+        if key not in seen:
+            seen.add(key)
+            keep.append(index)
+    return np.array(keep, dtype=np.int64)
+
+
 def _group_sort_key(key: tuple) -> tuple:
     """Deterministic ordering of group keys with mixed types and NULLs."""
-    normalised = []
-    for value in key:
-        if value is None:
-            normalised.append((2, ""))
-        elif isinstance(value, (int, float)):
-            normalised.append((0, float(value)))
-        else:
-            normalised.append((1, str(value)))
-    return tuple(normalised)
+    return tuple(sort_rank_key(value) for value in key)
 
 
 def _sort_indices(
     evaluator: ExpressionEvaluator, table: Table, keys: tuple[OrderItem, ...]
 ) -> np.ndarray:
     """Stable multi-key sort returning row indices."""
-    order = np.arange(table.num_rows)
-    # numpy lexsort-style: apply keys from least to most significant.
-    for key in reversed(keys):
-        values = evaluator.evaluate(key.expression)[order]
-        if is_string_array(values):
-            sortable = np.array(
-                [("" if v is None else str(v)) for v in values], dtype=object
-            )
-            positions = np.argsort(sortable, kind="stable")
-        else:
-            sortable = np.where(np.isnan(values), np.inf, values)
-            positions = np.argsort(sortable, kind="stable")
-        if key.descending:
-            positions = positions[::-1]
-        order = order[positions]
-    return order
+    key_arrays = [evaluator.evaluate(key.expression) for key in keys]
+    descending = [key.descending for key in keys]
+    return sort_indices_vectorized(key_arrays, descending, table.num_rows)
 
 
 def _combine_scalar(op: str, left: object, right: object) -> object:

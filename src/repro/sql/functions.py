@@ -319,3 +319,62 @@ def apply_aggregate(name: str, values: np.ndarray, distinct: bool = False) -> ob
     except KeyError as exc:
         raise ExecutionError(f"unknown aggregate function {name!r}") from exc
     return kernel(values, distinct)
+
+
+#: Aggregates with a ``reduceat``-based batch kernel over group segments.
+BATCHABLE_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def apply_aggregate_segments(
+    name: str,
+    values: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    distinct: bool = False,
+) -> list[object]:
+    """Apply an aggregate to every ``values[starts[g]:ends[g]]`` segment.
+
+    ``values`` must already be in group-sorted order.  The common numeric
+    aggregates reduce all segments in one ``numpy.reduceat`` pass; string
+    inputs, DISTINCT, and order-statistic aggregates fall back to the
+    per-segment scalar kernels (still evaluated over pre-sliced segments,
+    never re-materialised tables).
+    """
+    upper = name.upper()
+    if upper not in AGGREGATE_KERNELS:
+        raise ExecutionError(f"unknown aggregate function {name!r}")
+    n_groups = len(starts)
+    if n_groups == 0:
+        return []
+    batchable = (
+        not distinct
+        and not is_string_array(values)
+        and upper in BATCHABLE_AGGREGATES
+        and len(values) > 0
+        # reduceat(values, starts) reduces values[starts[g]:starts[g+1]],
+        # so the fast path requires the segments to tile ``values`` exactly
+        # (which grouping always produces); anything gapped, overlapping,
+        # or empty-segmented falls back to the per-segment kernels.
+        and bool(starts[0] == 0)
+        and bool(ends[-1] == len(values))
+        and bool(np.array_equal(np.asarray(starts[1:]), np.asarray(ends[:-1])))
+    )
+    if not batchable:
+        return [
+            apply_aggregate(upper, values[start:end], distinct)
+            for start, end in zip(starts, ends)
+        ]
+    nan_mask = np.isnan(values)
+    counts = np.add.reduceat((~nan_mask).astype(np.float64), starts)
+    if upper == "COUNT":
+        return [float(c) for c in counts]
+    if upper in ("SUM", "AVG"):
+        sums = np.add.reduceat(np.where(nan_mask, 0.0, values), starts)
+        if upper == "SUM":
+            return [None if c == 0 else float(s) for s, c in zip(sums, counts)]
+        return [None if c == 0 else float(s / c) for s, c in zip(sums, counts)]
+    if upper == "MIN":
+        mins = np.minimum.reduceat(np.where(nan_mask, np.inf, values), starts)
+        return [None if c == 0 else float(m) for m, c in zip(mins, counts)]
+    maxes = np.maximum.reduceat(np.where(nan_mask, -np.inf, values), starts)
+    return [None if c == 0 else float(m) for m, c in zip(maxes, counts)]

@@ -33,6 +33,58 @@ def _is_missing(value: object) -> bool:
     return False
 
 
+def sort_rank_key(value: object) -> tuple[int, object]:
+    """Deterministic cross-type ordering key: numbers < strings < NULL.
+
+    NULL (``None``/NaN) ranks strictly largest so that ascending sorts put
+    it last and descending sorts put it first (PostgreSQL semantics).
+    """
+    if _is_missing(value):
+        return (2, "")
+    if isinstance(value, (bool, int, float, np.integer, np.floating)):
+        return (0, float(value))
+    return (1, str(value))
+
+
+def factorize_array(values: np.ndarray) -> tuple[np.ndarray, list[object]]:
+    """Encode ``values`` as int64 codes into a sorted unique-value list.
+
+    Returns ``(codes, uniques)`` where ``uniques`` is ordered by
+    :func:`sort_rank_key` (so code order == deterministic sort order) and
+    ``codes[i]`` indexes the unique value of row ``i``.  NULLs (NaN in
+    numeric arrays, ``None``/NaN in object arrays) collapse to a single
+    unique with the largest code.
+    """
+    if values.dtype != object:
+        data = np.asarray(values, dtype=np.float64)
+        nan_mask = np.isnan(data)
+        uniq, inverse = np.unique(data[~nan_mask], return_inverse=True)
+        codes = np.empty(len(data), dtype=np.int64)
+        codes[~nan_mask] = inverse
+        codes[nan_mask] = uniq.size
+        uniques: list[object] = [float(v) for v in uniq]
+        if nan_mask.any():
+            uniques.append(None)
+        return codes, uniques
+    mapping: dict[object, int] = {}
+    raw_uniques: list[object] = []
+    raw_codes = np.empty(len(values), dtype=np.int64)
+    for i, value in enumerate(values):
+        if _is_missing(value):
+            value = None
+        code = mapping.get(value)
+        if code is None:
+            code = len(raw_uniques)
+            mapping[value] = code
+            raw_uniques.append(value)
+        raw_codes[i] = code
+    order = sorted(range(len(raw_uniques)), key=lambda c: sort_rank_key(raw_uniques[c]))
+    remap = np.empty(len(raw_uniques), dtype=np.int64)
+    for new_code, old_code in enumerate(order):
+        remap[old_code] = new_code
+    return remap[raw_codes] if len(raw_uniques) else raw_codes, [raw_uniques[c] for c in order]
+
+
 def infer_column_type(values: Iterable[object]) -> ColumnType:
     """Infer the storage type from a sample of Python values.
 
@@ -111,6 +163,10 @@ class Column:
     def take(self, indices: np.ndarray) -> "Column":
         """Return a new column containing the rows at ``indices``."""
         return Column(self.name, self.values[indices], self.ctype)
+
+    def factorize(self) -> tuple[np.ndarray, list[object]]:
+        """Integer codes + sorted uniques (see :func:`factorize_array`)."""
+        return factorize_array(self.values)
 
     def filter(self, mask: np.ndarray) -> "Column":
         """Return a new column with only rows where ``mask`` is True."""

@@ -12,7 +12,37 @@ from collections.abc import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.errors import CatalogError
-from repro.storage.column import Column, ColumnType
+from repro.storage.column import Column, ColumnType, factorize_array
+
+
+def group_segments(
+    code_arrays: Sequence[np.ndarray], n_rows: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Partition ``n_rows`` rows into groups of equal code tuples.
+
+    ``code_arrays`` holds one int64 code array per grouping key (as
+    produced by :func:`repro.storage.column.factorize_array`).  Returns
+    ``(order, starts, ends)`` where ``order`` is a stable permutation of
+    row indices sorted by code tuple and ``order[starts[g]:ends[g]]`` are
+    the rows of group ``g``.  Groups appear in ascending code order, which
+    is the deterministic numbers < strings < NULL sort order.  With no
+    key arrays the whole table forms one segment (even when empty).
+    """
+    if not code_arrays:
+        return (
+            np.arange(n_rows, dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.array([n_rows], dtype=np.int64),
+        )
+    order = np.lexsort(tuple(reversed([np.asarray(c) for c in code_arrays])))
+    if n_rows == 0:
+        empty = np.array([], dtype=np.int64)
+        return order.astype(np.int64), empty, empty
+    stacked = np.vstack([np.asarray(c)[order] for c in code_arrays])
+    change = np.any(stacked[:, 1:] != stacked[:, :-1], axis=0)
+    starts = np.concatenate(([0], np.flatnonzero(change) + 1)).astype(np.int64)
+    ends = np.concatenate((starts[1:], [n_rows])).astype(np.int64)
+    return order.astype(np.int64), starts, ends
 
 
 class Table:
@@ -150,6 +180,26 @@ class Table:
     def take(self, indices: np.ndarray) -> "Table":
         """Reorder/subset rows by integer indices."""
         return Table([col.take(indices) for col in self.columns()], name=self.name)
+
+    def distinct_indices(self, subset: Sequence[str] | None = None) -> np.ndarray:
+        """Row indices of the first occurrence of each distinct row.
+
+        ``subset`` restricts the comparison to the named columns.  Indices
+        come back in ascending (original row) order, so ``take`` preserves
+        first-seen ordering — the same contract as SQL ``SELECT DISTINCT``.
+        """
+        if self.num_rows == 0:
+            return np.array([], dtype=np.int64)
+        names = list(subset) if subset is not None else self.column_names()
+        codes = [factorize_array(self.column(name).values)[0] for name in names]
+        order, starts, _ends = group_segments(codes, self.num_rows)
+        if len(starts) == 0:
+            return np.array([], dtype=np.int64)
+        # The lexsort is stable, so each segment's first entry is already
+        # the group's minimum (first-occurrence) row index.
+        firsts = order[starts]
+        firsts.sort()
+        return firsts
 
     def slice(self, offset: int, length: int | None = None) -> "Table":
         """Return rows ``offset:offset+length``."""

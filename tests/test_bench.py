@@ -172,6 +172,12 @@ def test_harness_measures_plans_and_builds_pairs():
         assert len(session.episode_vectors) == 4
         assert session.total_seconds > 0
         assert set(session.breakdown) == {"client", "server", "network", "serialization"}
+        assert "queries_executed" in session.engine_counters
+        assert "plan_cache_hits" in session.engine_counters
+        assert "groups_formed" in session.engine_counters
+
+    # At least one candidate plan offloads grouping to the SQL backend.
+    assert any(m.engine_totals().get("groups_formed", 0) > 0 for m in measurements)
 
     pairs = harness.initial_render_dataset(measurements)
     assert len(pairs) == 6  # C(4, 2)

@@ -241,6 +241,73 @@ def test_engine_metrics_accumulate(db):
     assert len(db.metrics.query_log) >= 2
 
 
+def test_execution_stats_count_kernel_work(db):
+    grouped = db.execute("SELECT category, COUNT(*) FROM tiny GROUP BY category")
+    assert grouped.stats.rows_grouped == 5
+    assert grouped.stats.groups_formed == 3
+    ordered = db.execute("SELECT * FROM tiny ORDER BY value")
+    assert ordered.stats.rows_sorted == 5
+    deduped = db.execute("SELECT DISTINCT category FROM tiny")
+    assert deduped.stats.rows_deduplicated == 5
+    totals = db.metrics.snapshot()
+    assert totals["groups_formed"] >= 3
+    assert totals["rows_sorted"] >= 5
+    assert totals["rows_deduplicated"] >= 5
+
+
+def test_plan_cache_hits_on_whitespace_variants(db):
+    baseline_misses = db.metrics.plan_cache_misses
+    first = rows(db, "SELECT category, COUNT(*) AS n FROM tiny GROUP BY category")
+    again = rows(db, "SELECT   category,\n  COUNT(*) AS n\nFROM tiny   GROUP BY category")
+    assert again == first
+    assert db.metrics.plan_cache_hits >= 1
+    assert db.metrics.plan_cache_misses == baseline_misses + 1
+
+
+def test_plan_cache_preserves_string_literal_whitespace():
+    database = Database()
+    database.register_rows("t", [{"s": "a b"}, {"s": "a  b"}])
+    for quote in ("'", '"'):
+        one = database.query_rows(f"SELECT * FROM t WHERE s = {quote}a b{quote}")
+        two = database.query_rows(f"SELECT * FROM t WHERE s = {quote}a  b{quote}")
+        assert one == [{"s": "a b"}]
+        assert two == [{"s": "a  b"}]  # distinct cache keys, not a stale plan
+    assert database.metrics.plan_cache_misses == 4
+    assert database.metrics.plan_cache_hits == 0
+
+
+def test_plan_cache_survives_table_replacement(db):
+    sql = "SELECT COUNT(*) AS n FROM tiny"
+    assert rows(db, sql) == [{"n": 5}]
+    db.register_rows("tiny", [{"category": "x", "value": 1, "weight": 1}], replace=True)
+    assert rows(db, sql) == [{"n": 1}]  # cached plan re-resolves the table
+    assert db.metrics.plan_cache_hits >= 1
+
+
+def test_apply_aggregate_segments_honours_gapped_segments():
+    import numpy as np
+
+    from repro.sql.functions import apply_aggregate_segments
+
+    values = np.array([1.0, 2.0, 3.0])
+    starts, ends = np.array([0, 2]), np.array([1, 3])
+    # Non-contiguous segments must skip the reduceat fast path (which would
+    # fold row 1 into the first group) and honour ends exactly.
+    assert apply_aggregate_segments("SUM", values, starts, ends) == [1.0, 3.0]
+    assert apply_aggregate_segments("COUNT", values, starts, ends) == [1.0, 1.0]
+
+
+def test_order_by_string_nulls_deterministic():
+    database = Database()
+    database.register_rows(
+        "t", [{"s": "b"}, {"s": None}, {"s": "a"}, {"s": None}, {"s": "c"}]
+    )
+    ascending = [r["s"] for r in database.query_rows("SELECT s FROM t ORDER BY s")]
+    assert ascending == ["a", "b", "c", None, None]
+    descending = [r["s"] for r in database.query_rows("SELECT s FROM t ORDER BY s DESC")]
+    assert descending == [None, None, "c", "b", "a"]
+
+
 def test_register_columns_and_drop(db):
     db.register_columns("extra", {"a": [1, 2, 3]})
     assert db.query_rows("SELECT COUNT(*) AS n FROM extra") == [{"n": 3}]

@@ -5,7 +5,9 @@ import pytest
 
 from repro.errors import CatalogError
 from repro.storage import Catalog, Column, ColumnType, Table, compute_table_statistics
+from repro.storage.column import factorize_array, sort_rank_key
 from repro.storage.statistics import compute_column_statistics
+from repro.storage.table import group_segments
 
 
 # --------------------------------------------------------------------------- #
@@ -28,6 +30,55 @@ def test_column_type_inference_string():
 def test_column_null_mask():
     column = Column.from_values("x", [1, None, 3])
     assert list(column.null_mask()) == [False, True, False]
+
+
+def test_factorize_numeric_puts_null_last():
+    codes, uniques = factorize_array(np.array([2.0, np.nan, 1.0, 2.0, np.nan]))
+    assert uniques == [1.0, 2.0, None]
+    assert codes.tolist() == [1, 2, 0, 1, 2]
+
+
+def test_factorize_strings_ranks_numbers_before_strings_before_null():
+    values = np.array(["b", None, "a", 3.5, "b", None], dtype=object)
+    codes, uniques = factorize_array(values)
+    assert uniques == [3.5, "a", "b", None]
+    assert codes.tolist() == [2, 3, 1, 0, 2, 3]
+
+
+def test_factorize_empty_and_column_helper():
+    codes, uniques = factorize_array(np.array([], dtype=np.float64))
+    assert codes.tolist() == [] and uniques == []
+    codes, uniques = Column.from_values("x", ["a", "a", None]).factorize()
+    assert uniques == ["a", None]
+    assert codes.tolist() == [0, 0, 1]
+
+
+def test_sort_rank_key_total_order():
+    ranked = sorted([None, "b", 2.0, "a", 1.5, None], key=sort_rank_key)
+    assert ranked == [1.5, 2.0, "a", "b", None, None]
+
+
+def test_group_segments_orders_groups_and_rows():
+    codes = [np.array([1, 0, 1, 0, 2], dtype=np.int64)]
+    order, starts, ends = group_segments(codes, 5)
+    groups = [order[s:e].tolist() for s, e in zip(starts, ends)]
+    assert groups == [[1, 3], [0, 2], [4]]
+
+
+def test_group_segments_no_keys_is_single_segment():
+    order, starts, ends = group_segments([], 3)
+    assert order.tolist() == [0, 1, 2]
+    assert starts.tolist() == [0] and ends.tolist() == [3]
+    _order, starts, ends = group_segments([], 0)
+    assert starts.tolist() == [0] and ends.tolist() == [0]
+
+
+def test_table_distinct_indices_first_occurrence_order():
+    table = Table.from_columns({"a": [1, 2, 1, None, 2, None], "b": ["x", "y", "x", "z", "y", "z"]})
+    assert table.distinct_indices().tolist() == [0, 1, 3]
+    assert table.distinct_indices(subset=["b"]).tolist() == [0, 1, 3]
+    empty = Table.empty(["a"])
+    assert empty.distinct_indices().tolist() == []
 
 
 def test_column_take_and_filter():
