@@ -17,6 +17,8 @@ SIZE = scaled_size(10_000, floor=1_000)
 
 
 def test_figure8_session_latency_vega_vs_vegaplus(benchmark, harness):
+    benchmark.extra_info["backend"] = harness.backend_name
+    benchmark.extra_info["scale"] = SCALE
     result = benchmark.pedantic(
         figure8,
         kwargs={

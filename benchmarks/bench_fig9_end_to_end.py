@@ -17,6 +17,7 @@ LARGE_SIZES = (scaled_size(30_000, floor=5_000),)
 
 
 def test_figure9_scaling_vega_vegafusion_vegaplus(benchmark, harness):
+    benchmark.extra_info["backend"] = harness.backend_name
     result = benchmark.pedantic(
         figure9,
         kwargs={

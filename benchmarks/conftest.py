@@ -15,8 +15,20 @@ from __future__ import annotations
 
 import pytest
 
+from repro.backends import backend_names
 from repro.bench.experiments import collect_measurements
 from repro.bench.harness import BenchmarkHarness
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    """``--backend {embedded,sqlite}``: the server-side SQL backend axis."""
+    parser.addoption(
+        "--backend",
+        action="store",
+        default="embedded",
+        choices=backend_names(),
+        help="server-side SQL backend the benchmarks execute against",
+    )
 
 #: Data sizes used by the model-quality experiments (Tables 2-4, Figures 6-7).
 BENCH_SIZES: tuple[int, ...] = (2_000, 5_000, 10_000)
@@ -42,9 +54,15 @@ def bench_templates() -> tuple[str, ...]:
 
 
 @pytest.fixture(scope="session")
-def harness() -> BenchmarkHarness:
+def backend_name(request: pytest.FixtureRequest) -> str:
+    """The server-side backend selected with ``--backend``."""
+    return request.config.getoption("--backend")
+
+
+@pytest.fixture(scope="session")
+def harness(backend_name: str) -> BenchmarkHarness:
     """One harness (and one set of generated databases) for all benchmarks."""
-    return BenchmarkHarness(seed=0)
+    return BenchmarkHarness(seed=0, backend=backend_name)
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,8 @@ backend DBMS using a learned pairwise plan comparator.
 This package re-implements the full stack in Python:
 
 * :mod:`repro.sql` - an in-memory columnar SQL engine (the DBMS substrate),
+* :mod:`repro.backends` - the pluggable server-side backend seam (the
+  embedded engine plus a stdlib ``sqlite3`` backend),
 * :mod:`repro.dataflow` / :mod:`repro.vega` - a reactive Vega-like dataflow
   runtime and specification layer (the client substrate),
 * :mod:`repro.expr` - the Vega expression language and its SQL translation,
@@ -23,20 +25,29 @@ This package re-implements the full stack in Python:
 
 Quickstart::
 
-    from repro import Database, VegaPlusSystem
+    from repro import VegaPlusSystem, create_backend
     from repro.datasets import generate_dataset
     from repro.bench.templates import interactive_histogram
 
     rows = generate_dataset("flights", 100_000)
-    db = Database();  db.register_rows("flights", rows)
+    backend = create_backend("embedded")   # or "sqlite"
+    backend.register_rows("flights", rows)
     template = interactive_histogram()
-    spec = template.build_spec("flights", "delay")
-    system = VegaPlusSystem(spec, db)
+    spec = template.build_spec("flights", {"value": "delay"})
+    system = VegaPlusSystem(spec, backend)
     system.optimize()
     print(system.initialize().total_seconds)
 """
 
 from repro.sql import Database
+from repro.backends import (
+    EmbeddedBackend,
+    SQLBackend,
+    SqliteBackend,
+    as_backend,
+    backend_names,
+    create_backend,
+)
 from repro.core import (
     VegaPlusSystem,
     VegaPlusOptimizer,
@@ -51,10 +62,16 @@ from repro.core import (
 from repro.vega import VegaRuntime
 from repro.baselines import VegaNativeSystem, VegaFusionSystem
 
-__version__ = "1.0.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "Database",
+    "SQLBackend",
+    "EmbeddedBackend",
+    "SqliteBackend",
+    "as_backend",
+    "backend_names",
+    "create_backend",
     "VegaPlusSystem",
     "VegaPlusOptimizer",
     "ExecutionPlan",

@@ -1,0 +1,195 @@
+"""The pluggable SQL backend contract.
+
+The paper runs the server side of VegaPlus on a real DBMS (PostgreSQL or
+DuckDB).  This module defines the seam that makes the reproduction's
+server side swappable: a :class:`SQLBackend` abstract base class every
+backend implements, and a :class:`BackendCapabilities` record describing
+the dialect and feature surface a backend offers.
+
+Capabilities serve two purposes:
+
+* the **rewrite layer** consults them while generating SQL — e.g. a
+  backend whose bare ``ORDER BY x ASC`` does not already sort NULL last
+  gets an explicit ``NULLS LAST`` clause, and a backend whose running
+  window aggregates default to the RANGE frame gets an explicit
+  ``ROWS UNBOUNDED PRECEDING`` frame so cumulative sums match,
+* the **optimizer** consults them to decide which transforms may be
+  offloaded at all (a backend without window functions cannot take a
+  ``stack`` transform).
+
+Every backend must honour the result contract pinned by
+``tests/test_backends_differential.py``: NULL sorts last under ``ASC``
+and first under ``DESC``, cross-type keys order numbers < strings < NULL,
+aggregates skip NULLs, and ``STDDEV``/``VARIANCE`` are sample statistics
+(``ddof=1``, NULL below two values).  ``docs/BACKENDS.md`` documents the
+contract in prose.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.storage.catalog import Catalog
+from repro.storage.statistics import TableStatistics
+from repro.storage.table import Table
+
+#: Aggregate functions the rewrite layer may emit.
+CORE_AGGREGATES = frozenset(
+    {"COUNT", "SUM", "AVG", "MIN", "MAX", "MEDIAN", "STDDEV", "VARIANCE"}
+)
+
+#: Scalar functions the expression translator may emit.
+CORE_SCALAR_FUNCTIONS = frozenset(
+    {"ABS", "CEIL", "FLOOR", "ROUND", "SQRT", "LN", "EXP", "POWER",
+     "UPPER", "LOWER", "LENGTH"}
+)
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """Dialect and feature flags of one SQL backend.
+
+    The flags describe the backend's *native* behaviour; helper methods
+    derive the clauses the SQL generator must add to reach the shared
+    semantics (NULL last under ASC / first under DESC; running window
+    aggregates over a ROWS frame).
+    """
+
+    name: str
+    #: Whether ``agg(...) OVER (PARTITION BY ... ORDER BY ...)`` works.
+    supports_window_functions: bool = True
+    #: Whether ``ORDER BY expr NULLS FIRST|LAST`` parses.
+    supports_nulls_ordering_clause: bool = False
+    #: Whether a bare ``ORDER BY expr ASC`` already sorts NULL last (the
+    #: embedded engine and PostgreSQL do; SQLite sorts NULL smallest).
+    nulls_sort_largest: bool = True
+    #: Whether a running aggregate ``SUM(x) OVER (ORDER BY k)`` defaults
+    #: to the ROWS frame (the embedded engine) rather than the standard
+    #: RANGE frame that groups peer rows (SQLite, PostgreSQL).
+    default_window_frame_is_rows: bool = True
+    #: Aggregate function names the backend executes (upper-case).
+    supported_aggregates: frozenset[str] = field(default=CORE_AGGREGATES)
+    #: Scalar function names the backend executes (upper-case).
+    supported_scalar_functions: frozenset[str] = field(default=CORE_SCALAR_FUNCTIONS)
+
+    # -------------------------------------------------------------- #
+    # Clauses the SQL generator derives from the flags
+    # -------------------------------------------------------------- #
+    def order_nulls_suffix(self, descending: bool) -> str:
+        """Clause forcing NULL last under ASC / first under DESC.
+
+        Empty when the backend's native ordering already matches (or when
+        it cannot express the clause — callers must then accept native
+        NULL placement, which the differential suite would catch).
+        """
+        if self.nulls_sort_largest or not self.supports_nulls_ordering_clause:
+            return ""
+        return " NULLS FIRST" if descending else " NULLS LAST"
+
+    def window_frame_clause(self) -> str:
+        """Frame clause forcing ROWS semantics for running aggregates."""
+        if self.default_window_frame_is_rows:
+            return ""
+        return " ROWS UNBOUNDED PRECEDING"
+
+    def supports_aggregate(self, sql_function: str) -> bool:
+        """Whether the backend executes the (upper-case) aggregate."""
+        return sql_function.upper() in self.supported_aggregates
+
+    def supports_scalar(self, sql_function: str) -> bool:
+        """Whether the backend executes the (upper-case) scalar function."""
+        return sql_function.upper() in self.supported_scalar_functions
+
+
+class SQLBackend(abc.ABC):
+    """Abstract server-side SQL engine.
+
+    Concrete backends own a table catalog, execute SQL strings, and track
+    cumulative :class:`~repro.sql.engine.EngineMetrics`.  The surface
+    deliberately mirrors the original :class:`~repro.sql.engine.Database`
+    facade so existing call sites work with any backend.
+    """
+
+    #: Short identifier used in cache keys, benchmark output and logs.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # Capabilities
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def capabilities(self) -> BackendCapabilities:
+        """The backend's dialect/feature description."""
+
+    # ------------------------------------------------------------------ #
+    # Table registration
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def register_table(self, name: str, table: Table, replace: bool = False) -> None:
+        """Register an existing :class:`Table` under ``name``."""
+
+    @abc.abstractmethod
+    def register_rows(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, object]],
+        replace: bool = False,
+        column_order: Sequence[str] | None = None,
+    ) -> None:
+        """Register a table created from row dictionaries."""
+
+    @abc.abstractmethod
+    def drop_table(self, name: str) -> None:
+        """Remove a registered table."""
+
+    @abc.abstractmethod
+    def table_names(self) -> list[str]:
+        """Names of registered tables."""
+
+    @abc.abstractmethod
+    def table(self, name: str) -> Table:
+        """Return a registered table."""
+
+    @abc.abstractmethod
+    def table_statistics(self, name: str) -> TableStatistics:
+        """Statistics for a registered table."""
+
+    @property
+    @abc.abstractmethod
+    def catalog(self) -> Catalog:
+        """The catalog of registered tables (used by the cost estimator)."""
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def execute(self, sql: str):
+        """Execute ``sql`` and return a :class:`~repro.sql.engine.QueryResult`."""
+
+    def query_rows(self, sql: str) -> list[dict[str, object]]:
+        """Convenience wrapper returning the result rows directly."""
+        return self.execute(sql).to_rows()
+
+    def clear_plan_cache(self) -> None:
+        """Drop prepared/cached plans (no-op for backends without one)."""
+
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def metrics(self):
+        """Cumulative :class:`~repro.sql.engine.EngineMetrics`.
+
+        Part of the enforced protocol: the benchmark harness diffs
+        ``metrics.snapshot()`` around every measured session.
+        """
+
+    def stats(self) -> dict[str, float]:
+        """Flat snapshot of the backend's cumulative engine counters."""
+        return self.metrics.snapshot()

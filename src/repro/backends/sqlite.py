@@ -1,0 +1,247 @@
+"""A server-side SQL backend built on the stdlib ``sqlite3`` module.
+
+This is the first *independent* SQL implementation behind the
+:class:`~repro.backends.base.SQLBackend` seam: results come from SQLite's
+own parser/planner/executor, which makes it a true cross-check for the
+embedded engine (the differential suite runs the shared query corpus
+through both and asserts identical results).
+
+Dialect shims applied to reach the shared semantics:
+
+* ``NULLS LAST`` / ``NULLS FIRST`` are emitted by the SQL generator
+  (driven by :data:`SQLITE_CAPABILITIES`) because SQLite natively sorts
+  NULL smallest, while the contract is NULL last under ASC / first under
+  DESC,
+* running window aggregates get an explicit ``ROWS UNBOUNDED PRECEDING``
+  frame because SQLite defaults to the RANGE frame, which assigns peer
+  rows the same running total,
+* ``MEDIAN`` / ``STDDEV`` / ``VARIANCE`` are registered as Python
+  aggregate UDFs matching the embedded kernels (median interpolates
+  between the middle two values; stddev/variance are sample statistics
+  with NULL below two inputs),
+* math scalar functions (``FLOOR``, ``CEIL``, ...) are registered as UDFs
+  only when the linked SQLite build lacks them
+  (``SQLITE_ENABLE_MATH_FUNCTIONS`` is common but not guaranteed),
+* NaN is stored as NULL on load — SQLite has no NaN, and NaN *is* the
+  embedded engine's NULL encoding.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+import time
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.backends.base import BackendCapabilities, SQLBackend
+from repro.errors import ExecutionError
+from repro.sql.engine import EngineMetrics, QueryResult
+from repro.sql.executor import ExecutionStats
+from repro.sql.explain import CostEstimator, QueryCostEstimate
+from repro.sql.optimizer import optimize_plan
+from repro.sql.parser import parse_sql
+from repro.sql.planner import build_logical_plan
+from repro.storage.catalog import Catalog
+from repro.storage.sqlite_adapter import load_table, quote_identifier, table_from_cursor
+from repro.storage.statistics import TableStatistics
+from repro.storage.table import Table
+
+#: Dialect description of SQLite (3.30+ for the NULLS ordering clause).
+SQLITE_CAPABILITIES = BackendCapabilities(
+    name="sqlite",
+    supports_window_functions=True,
+    supports_nulls_ordering_clause=True,
+    nulls_sort_largest=False,
+    default_window_frame_is_rows=False,
+)
+
+#: Scalar math functions registered as UDFs when the build lacks them.
+_SCALAR_FALLBACKS: dict[str, tuple[int, object]] = {
+    "FLOOR": (1, lambda x: None if x is None else math.floor(x)),
+    "CEIL": (1, lambda x: None if x is None else math.ceil(x)),
+    "SQRT": (1, lambda x: None if x is None else math.sqrt(x)),
+    "LN": (1, lambda x: None if x is None else math.log(x)),
+    "EXP": (1, lambda x: None if x is None else math.exp(x)),
+    "POWER": (2, lambda x, y: None if x is None or y is None else float(x) ** float(y)),
+}
+
+#: Clauses the SQL generator adds for this dialect; stripped before the
+#: embedded parser estimates costs for EXPLAIN (it has no such syntax).
+_DIALECT_CLAUSES = (" NULLS LAST", " NULLS FIRST", " ROWS UNBOUNDED PRECEDING")
+
+
+class _NumpyAggregate:
+    """Base for UDF aggregates that collect values and reduce with numpy."""
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def step(self, value: object) -> None:
+        if value is None:
+            return
+        self.values.append(float(value))
+
+
+class _Median(_NumpyAggregate):
+    def finalize(self) -> float | None:
+        if not self.values:
+            return None
+        return float(np.median(self.values))
+
+
+class _Stddev(_NumpyAggregate):
+    def finalize(self) -> float | None:
+        if len(self.values) < 2:
+            return None
+        return float(np.std(self.values, ddof=1))
+
+
+class _Variance(_NumpyAggregate):
+    def finalize(self) -> float | None:
+        if len(self.values) < 2:
+            return None
+        return float(np.var(self.values, ddof=1))
+
+
+class SqliteBackend(SQLBackend):
+    """An in-memory SQLite database behind the backend seam.
+
+    Registered tables are mirrored twice: loaded into SQLite for
+    execution, and kept in a :class:`Catalog` so the optimizer's cost
+    estimator and plan encoder see the same table statistics they would
+    on the embedded backend.
+
+    Parameters
+    ----------
+    keep_query_log:
+        When True (default) the text of every executed query is kept in
+        :attr:`metrics`, mirroring the embedded engine's flag.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, keep_query_log: bool = True, **_ignored: object) -> None:
+        self._connection = sqlite3.connect(":memory:", check_same_thread=False)
+        self._catalog = Catalog()
+        self._keep_query_log = keep_query_log
+        self._metrics = EngineMetrics()
+        self._register_functions()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return SQLITE_CAPABILITIES
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        return self._metrics
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying SQLite connection (for tests and debugging)."""
+        return self._connection
+
+    # ------------------------------------------------------------------ #
+    # Table registration
+    # ------------------------------------------------------------------ #
+    def register_table(self, name: str, table: Table, replace: bool = False) -> None:
+        self._catalog.register(name, table, replace=replace)
+        load_table(self._connection, name, self._catalog.get(name), replace=replace)
+
+    def register_rows(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, object]],
+        replace: bool = False,
+        column_order: Sequence[str] | None = None,
+    ) -> None:
+        self.register_table(
+            name,
+            Table.from_rows(rows, name=name, column_order=column_order),
+            replace=replace,
+        )
+
+    def register_columns(
+        self, name: str, data: Mapping[str, Sequence[object]], replace: bool = False
+    ) -> None:
+        """Register a table created from a column mapping."""
+        self.register_table(name, Table.from_columns(data, name=name), replace=replace)
+
+    def drop_table(self, name: str) -> None:
+        self._catalog.drop(name)
+        self._connection.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
+        self._connection.commit()
+
+    def table_names(self) -> list[str]:
+        return self._catalog.table_names()
+
+    def table(self, name: str) -> Table:
+        return self._catalog.get(name)
+
+    def table_statistics(self, name: str) -> TableStatistics:
+        return self._catalog.statistics(name)
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str) -> QueryResult:
+        """Execute ``sql`` on SQLite and return a :class:`QueryResult`.
+
+        ``EXPLAIN SELECT ...`` follows the embedded engine's convention:
+        a single-column table holding the textual cost estimate (sqlite's
+        native EXPLAIN emits VM opcodes, useless to the optimizer).
+        """
+        stripped = sql.lstrip()
+        if stripped.upper().startswith("EXPLAIN "):
+            estimate = self.explain(stripped)
+            table = Table.from_columns({"plan": estimate.pretty().split("\n")})
+            result = QueryResult(sql=sql, table=table, elapsed_seconds=0.0, stats=ExecutionStats())
+            self.metrics.record(result, self._keep_query_log)
+            return result
+        start = time.perf_counter()
+        try:
+            cursor = self._connection.execute(sql)
+            rows = cursor.fetchall()
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"sqlite backend failed to execute {sql!r}: {exc}") from exc
+        elapsed = time.perf_counter() - start
+        table = table_from_cursor(cursor.description, rows)
+        result = QueryResult(sql=sql, table=table, elapsed_seconds=elapsed, stats=ExecutionStats())
+        self.metrics.record(result, self._keep_query_log)
+        return result
+
+    def explain(self, sql: str) -> QueryCostEstimate:
+        """Cost estimate for ``sql`` from the shared cost model.
+
+        Cost estimation is backend-independent (it reads catalog
+        statistics, not the engine), so the embedded planner estimates
+        sqlite-bound queries too; dialect-only clauses the embedded
+        parser does not know are stripped first.
+        """
+        text = sql.removeprefix("EXPLAIN ").removeprefix("explain ")
+        for clause in _DIALECT_CLAUSES:
+            text = text.replace(clause, "")
+        plan = optimize_plan(build_logical_plan(parse_sql(text)))
+        return CostEstimator(self._catalog).estimate(plan)
+
+    def close(self) -> None:
+        self._connection.close()
+
+    # ------------------------------------------------------------------ #
+    def _register_functions(self) -> None:
+        """Install aggregate UDFs and any missing math scalar functions."""
+        self._connection.create_aggregate("MEDIAN", 1, _Median)
+        self._connection.create_aggregate("STDDEV", 1, _Stddev)
+        self._connection.create_aggregate("VARIANCE", 1, _Variance)
+        for function_name, (arity, impl) in _SCALAR_FALLBACKS.items():
+            probe = f"SELECT {function_name}({', '.join(['1.0'] * arity)})"
+            try:
+                self._connection.execute(probe)
+            except sqlite3.OperationalError:
+                self._connection.create_function(function_name, arity, impl)

@@ -14,6 +14,7 @@ from repro.core.enumerator import PlanEnumerator
 from repro.core.system import InteractionResult, VegaPlusSystem
 from repro.net.channel import NetworkModel
 from repro.net.serialize import ArrowCodec, Codec
+from repro.backends import SQLBackend
 from repro.sql.engine import Database
 from repro.vega.spec import VegaSpec
 
@@ -29,7 +30,7 @@ class VegaFusionSystem(VegaPlusSystem):
     def __init__(
         self,
         spec: VegaSpec | dict,
-        database: Database,
+        database: SQLBackend | Database,
         network: NetworkModel | None = None,
         codec: Codec | None = None,
     ) -> None:

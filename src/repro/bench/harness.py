@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backends import SQLBackend, create_backend
 from repro.bench.workload import WorkloadGenerator
 from repro.core.comparators import PairDataset, build_pair_dataset
 from repro.core.encoder import PlanEncoder, PlanVector
@@ -30,7 +31,6 @@ from repro.datasets.generators import generate_dataset
 from repro.errors import BenchmarkError
 from repro.net.channel import NetworkModel
 from repro.net.serialize import ArrowCodec, Codec
-from repro.sql.engine import Database
 from repro.vega.spec import VegaSpec, parse_spec_dict
 
 
@@ -104,7 +104,7 @@ class BenchmarkConfiguration:
     dataset: str
     n_rows: int
     spec: VegaSpec
-    database: Database
+    database: SQLBackend
     sessions: list[list[dict[str, object]]]
 
 
@@ -115,6 +115,10 @@ class BenchmarkHarness:
     ----------
     seed:
         Base seed for data generation, field binding and interactions.
+    backend:
+        Name of the server-side SQL backend every measured system runs
+        against (``"embedded"`` or ``"sqlite"``; see
+        :func:`repro.backends.backend_names`).
     network, codec:
         Passed to every :class:`VegaPlusSystem` built by the harness.
     enable_cache:
@@ -124,24 +128,26 @@ class BenchmarkHarness:
     def __init__(
         self,
         seed: int = 0,
+        backend: str = "embedded",
         network: NetworkModel | None = None,
         codec: Codec | None = None,
         enable_cache: bool = True,
     ) -> None:
         self.seed = seed
+        self.backend_name = backend
         self.network = network or NetworkModel.lan()
         self.codec = codec or ArrowCodec()
         self.enable_cache = enable_cache
-        self._database_cache: dict[tuple[str, int], Database] = {}
+        self._database_cache: dict[tuple[str, int], SQLBackend] = {}
 
     # ------------------------------------------------------------------ #
     # Configuration
     # ------------------------------------------------------------------ #
-    def database_for(self, dataset: str, n_rows: int) -> Database:
-        """A database with the dataset registered (memoised per size)."""
+    def database_for(self, dataset: str, n_rows: int) -> SQLBackend:
+        """A backend with the dataset registered (memoised per size)."""
         key = (dataset, n_rows)
         if key not in self._database_cache:
-            database = Database(keep_query_log=False)
+            database = create_backend(self.backend_name, keep_query_log=False)
             database.register_rows(dataset, generate_dataset(dataset, n_rows, seed=self.seed))
             self._database_cache[key] = database
         return self._database_cache[key]

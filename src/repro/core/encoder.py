@@ -28,8 +28,8 @@ from repro.dataflow import Dataflow
 from repro.dataflow.operator import Operator, SourceOperator
 from repro.rewrite.rewriter import RewrittenDataflow
 from repro.rewrite.vdt import VegaDBMSTransform
+from repro.backends import SQLBackend
 from repro.sql.engine import Database
-from repro.sql.explain import CostEstimator
 
 #: Operator types tracked by the encoder, in feature order.
 FEATURE_OPERATOR_TYPES: tuple[str, ...] = (
@@ -130,7 +130,7 @@ def normalize_cardinalities(vectors: list[PlanVector]) -> list[PlanVector]:
 class PlanEncoder:
     """Encodes rewritten dataflows into :class:`PlanVector` features."""
 
-    def __init__(self, database: Database | None = None) -> None:
+    def __init__(self, database: SQLBackend | Database | None = None) -> None:
         self._database = database
 
     # ------------------------------------------------------------------ #

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
+from repro.backends import SQLBackend, as_backend
 from repro.core.comparators import HeuristicComparator, PlanComparator
 from repro.core.optimizer import OptimizationResult, VegaPlusOptimizer
 from repro.core.plan import ExecutionPlan
@@ -76,16 +77,18 @@ class VegaPlusSystem:
     def __init__(
         self,
         spec: VegaSpec | dict,
-        database: Database,
+        database: SQLBackend | Database,
         comparator: PlanComparator | None = None,
         network: NetworkModel | None = None,
         codec: Codec | None = None,
         enable_cache: bool = True,
     ) -> None:
         self.spec = parse_spec_dict(spec) if isinstance(spec, dict) else spec
-        self.database = database
+        #: The server-side SQL backend; a raw :class:`Database` is adapted
+        #: to the backend protocol so pre-backend call sites keep working.
+        self.database = as_backend(database)
         self.middleware = MiddlewareServer(
-            database,
+            self.database,
             network=network or NetworkModel.lan(),
             codec=codec or ArrowCodec(),
             enable_cache=enable_cache,

@@ -1,17 +1,23 @@
 """The middleware server between the Vega client and the DBMS.
 
 VDT operators send SQL over (simulated) HTTP to this middleware, which
-checks the caches, executes the query on the backend
-:class:`~repro.sql.engine.Database` when needed, serialises the result and
-returns it together with a cost breakdown (server compute, serialisation,
-network transfer).  The client-side cache is also owned here for
-convenience — lookups against it cost nothing on the network.
+checks the caches, executes the query on the configured
+:class:`~repro.backends.base.SQLBackend` when needed, serialises the
+result and returns it together with a cost breakdown (server compute,
+serialisation, network transfer).  The client-side cache is also owned
+here for convenience — lookups against it cost nothing on the network.
+
+Cache entries are keyed on ``<backend name>::<sql>`` so results from two
+backends can never alias, even when middleware caches are shared or
+compared across backend runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.backends import SQLBackend, as_backend
+from repro.backends.base import BackendCapabilities
 from repro.net.cache import QueryCache
 from repro.net.channel import NetworkModel
 from repro.net.serialize import ArrowCodec, Codec
@@ -47,7 +53,8 @@ class MiddlewareServer:
     Parameters
     ----------
     database:
-        The backend DBMS (our embedded SQL engine).
+        The backend DBMS: any :class:`SQLBackend`, or a raw
+        :class:`Database` (wrapped in an embedded backend).
     network:
         Latency/bandwidth model of the client↔middleware link.
     codec:
@@ -60,7 +67,7 @@ class MiddlewareServer:
 
     def __init__(
         self,
-        database: Database,
+        database: SQLBackend | Database,
         network: NetworkModel | None = None,
         codec: Codec | None = None,
         enable_cache: bool = True,
@@ -68,7 +75,7 @@ class MiddlewareServer:
         server_cache_entries: int = 128,
         max_cached_result_bytes: int = 2_000_000,
     ) -> None:
-        self.database = database
+        self.database = as_backend(database)
         self.network = network or NetworkModel.lan()
         self.codec = codec or ArrowCodec()
         self.enable_cache = enable_cache
@@ -85,14 +92,30 @@ class MiddlewareServer:
         self.queries_executed = 0
 
     # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> SQLBackend:
+        """The server-side SQL backend (alias of :attr:`database`)."""
+        return self.database
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        """Capabilities of the configured backend (drives SQL generation)."""
+        return self.database.capabilities
+
+    def cache_key(self, sql: str) -> str:
+        """Cache key for ``sql``: namespaced by backend name."""
+        return f"{self.database.name}::{sql}"
+
+    # ------------------------------------------------------------------ #
     def execute(self, sql: str) -> QueryResponse:
         """Serve one SQL request from cache or by executing on the DBMS.
 
         Lookup order follows the paper: client cache, then the middleware
         cache (one round trip, tiny payload), then full DBMS execution.
         """
+        key = self.cache_key(sql)
         if self.enable_cache:
-            client_hit = self.client_cache.get(sql)
+            client_hit = self.client_cache.get(key)
             if client_hit is not None:
                 return QueryResponse(
                     sql=sql,
@@ -103,11 +126,11 @@ class MiddlewareServer:
                     serialization_seconds=0.0,
                     cache_level="client",
                 )
-            server_hit = self.server_cache.get(sql)
+            server_hit = self.server_cache.get(key)
             if server_hit is not None:
                 transfer = self.network.transfer(server_hit.payload_bytes)
                 estimate = self.codec.estimate(server_hit.rows)
-                self.client_cache.put(sql, server_hit.rows, server_hit.payload_bytes)
+                self.client_cache.put(key, server_hit.rows, server_hit.payload_bytes)
                 return QueryResponse(
                     sql=sql,
                     rows=server_hit.rows,
@@ -124,8 +147,8 @@ class MiddlewareServer:
         estimate = self.codec.estimate(rows)
         transfer = self.network.transfer(estimate.payload_bytes)
         if self.enable_cache:
-            self.server_cache.put(sql, rows, estimate.payload_bytes)
-            self.client_cache.put(sql, rows, estimate.payload_bytes)
+            self.server_cache.put(key, rows, estimate.payload_bytes)
+            self.client_cache.put(key, rows, estimate.payload_bytes)
         return QueryResponse(
             sql=sql,
             rows=rows,

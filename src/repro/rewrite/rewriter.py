@@ -81,10 +81,16 @@ class SpecRewriter:
 
     # ------------------------------------------------------------------ #
     def max_server_prefix(self, entry: DataEntry) -> int:
-        """Longest rewritable prefix of an entry's transform chain."""
+        """Longest rewritable prefix of an entry's transform chain.
+
+        Consults the middleware backend's capabilities, so a transform
+        the target backend cannot execute (e.g. ``stack`` on a backend
+        without window functions) stays on the client.
+        """
+        capabilities = self.middleware.capabilities
         prefix = 0
         for transform in entry.transforms:
-            if not transform_supports_sql(transform.get("type", "")):
+            if not transform_supports_sql(transform.get("type", ""), capabilities):
                 break
             prefix += 1
         return prefix

@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field, replace
 
+from repro.backends.base import BackendCapabilities
+from repro.backends.embedded import EMBEDDED_CAPABILITIES
 from repro.errors import ExpressionTranslationError, RewriteError
 from repro.expr import to_sql
 from repro.dataflow.transforms.bin import compute_bins
@@ -25,6 +27,12 @@ from repro.dataflow.transforms.timeunit import UNIT_SECONDS
 REWRITABLE_TRANSFORMS = frozenset(
     {"filter", "extent", "bin", "aggregate", "collect", "project", "stack", "timeunit"}
 )
+
+#: Transform types that compile to window functions (backend-dependent).
+_WINDOW_TRANSFORMS = frozenset({"stack"})
+
+#: Transform types whose generated SQL calls FLOOR (backend-dependent).
+_FLOOR_TRANSFORMS = frozenset({"bin", "timeunit"})
 
 #: Vega aggregate op name → SQL aggregate function.
 _AGG_SQL = {
@@ -41,14 +49,35 @@ _AGG_SQL = {
 }
 
 
-def transform_supports_sql(transform_type: str) -> bool:
-    """Whether a transform type can be offloaded to the DBMS."""
-    return transform_type in REWRITABLE_TRANSFORMS
+def transform_supports_sql(
+    transform_type: str, capabilities: BackendCapabilities | None = None
+) -> bool:
+    """Whether a transform type can be offloaded to the DBMS.
+
+    With ``capabilities`` the answer is backend-specific: a ``stack``
+    needs window functions, and ``bin``/``timeunit`` need ``FLOOR``.
+    Without, the answer is dialect-agnostic (used by the enumerator,
+    which sizes the plan space before a backend is chosen).
+    """
+    if transform_type not in REWRITABLE_TRANSFORMS:
+        return False
+    if capabilities is None:
+        return True
+    if transform_type in _WINDOW_TRANSFORMS and not capabilities.supports_window_functions:
+        return False
+    if transform_type in _FLOOR_TRANSFORMS and not capabilities.supports_scalar("FLOOR"):
+        return False
+    return True
 
 
 @dataclass
 class QueryFragment:
-    """A single-block SQL query under construction."""
+    """A single-block SQL query under construction.
+
+    ``dialect`` carries the target backend's capabilities so rendering
+    can add the clauses that backend needs to reach the shared semantics
+    (``NULLS LAST`` on ascending sort keys, explicit ROWS window frames).
+    """
 
     source: str
     source_is_subquery: bool = False
@@ -60,16 +89,24 @@ class QueryFragment:
     #: True once GROUP BY / aggregates are present: later per-row transforms
     #: must nest rather than compose.
     aggregated: bool = False
+    #: Capabilities of the backend this SQL targets.
+    dialect: BackendCapabilities = EMBEDDED_CAPABILITIES
 
     # -------------------------------------------------------------- #
     @classmethod
-    def for_table(cls, table: str) -> "QueryFragment":
+    def for_table(
+        cls, table: str, dialect: BackendCapabilities = EMBEDDED_CAPABILITIES
+    ) -> "QueryFragment":
         """Start a fragment scanning a base table."""
-        return cls(source=table)
+        return cls(source=table, dialect=dialect)
 
     def nest(self, alias: str = "sub") -> "QueryFragment":
         """Wrap the current fragment as the sub-query source of a new block."""
-        return QueryFragment(source=f"({self.to_sql()}) AS {alias}", source_is_subquery=True)
+        return QueryFragment(
+            source=f"({self.to_sql()}) AS {alias}",
+            source_is_subquery=True,
+            dialect=self.dialect,
+        )
 
     def to_sql(self) -> str:
         """Render the fragment as SQL text."""
@@ -80,10 +117,17 @@ class QueryFragment:
         if self.group_by:
             sql += " GROUP BY " + ", ".join(self.group_by)
         if self.order_by:
-            sql += " ORDER BY " + ", ".join(self.order_by)
+            sql += " ORDER BY " + ", ".join(
+                self._render_order_item(item) for item in self.order_by
+            )
         if self.limit is not None:
             sql += f" LIMIT {self.limit}"
         return sql
+
+    def _render_order_item(self, item: str) -> str:
+        """One ORDER BY key with the dialect's NULL-placement clause."""
+        descending = item.upper().endswith(" DESC")
+        return item + self.dialect.order_nulls_suffix(descending)
 
     # -------------------------------------------------------------- #
     def can_add_predicate(self) -> bool:
@@ -131,9 +175,10 @@ def build_fragment_for_transforms(
     table: str,
     transforms: Sequence[Mapping],
     resolved_params: Sequence[Mapping],
+    dialect: BackendCapabilities = EMBEDDED_CAPABILITIES,
 ) -> QueryFragment:
     """Batch a chain of transforms over ``table`` into one fragment."""
-    fragment = QueryFragment.for_table(table)
+    fragment = QueryFragment.for_table(table, dialect=dialect)
     for definition, params in zip(transforms, resolved_params):
         fragment = apply_transform(fragment, definition, params)
     return fragment
@@ -228,6 +273,10 @@ def _apply_aggregate(fragment: QueryFragment, params: Mapping) -> QueryFragment:
         sql_func = _AGG_SQL.get(op)
         if sql_func is None:
             raise RewriteError(f"aggregate op {op!r} has no SQL equivalent")
+        if not fragment.dialect.supports_aggregate(sql_func):
+            raise RewriteError(
+                f"backend {fragment.dialect.name!r} does not support aggregate {sql_func}"
+            )
         name = _aggregate_output_name(op, agg_field, index, as_names)
         if op == "count" and agg_field is None:
             items.append(f"COUNT(*) AS {name}")
@@ -289,15 +338,27 @@ def _apply_stack(fragment: QueryFragment, params: Mapping) -> QueryFragment:
     y0 = out_names[0]
     y1 = out_names[1] if len(out_names) > 1 else "y1"
 
+    dialect = fragment.dialect
+    if not dialect.supports_window_functions:
+        raise RewriteError(
+            f"backend {dialect.name!r} does not support window functions; "
+            "the stack transform cannot be offloaded"
+        )
     if fragment.aggregated or fragment.select_items:
         fragment = fragment.nest()
     over_parts = []
     if groupby:
         over_parts.append("PARTITION BY " + ", ".join(groupby))
+    frame = ""
     if sort_fields:
-        over_parts.append("ORDER BY " + ", ".join(sort_fields))
+        nulls = dialect.order_nulls_suffix(descending=False)
+        over_parts.append("ORDER BY " + ", ".join(f + nulls for f in sort_fields))
+        # Running sums must use the ROWS frame everywhere: under the
+        # standard's default RANGE frame, peer rows (equal sort keys)
+        # would share one cumulative value and stacked bars would overlap.
+        frame = dialect.window_frame_clause()
     over = " ".join(over_parts)
-    window = f"SUM({field_name}) OVER ({over}) AS {y1}"
+    window = f"SUM({field_name}) OVER ({over}{frame}) AS {y1}"
     inner = replace(fragment)
     inner.select_items = ["*", window]
     outer = inner.nest(alias="stacked")

@@ -119,8 +119,13 @@ class VegaDBMSTransform(Operator):
         return OperatorResult(rows=rows, value=value)
 
     def build_sql(self, params: dict, context: EvaluationContext) -> str:
-        """Build the batched SQL query with all parameter holes filled."""
-        fragment = QueryFragment.for_table(self.table)
+        """Build the batched SQL query with all parameter holes filled.
+
+        The fragment carries the middleware backend's capabilities, so
+        the rendered SQL is dialect-correct for whichever backend will
+        execute it (NULL-ordering clauses, window frames).
+        """
+        fragment = QueryFragment.for_table(self.table, dialect=self.middleware.capabilities)
         signal_values = context.signals()
         resolved_list = params.get("_resolved_transforms")
         if not isinstance(resolved_list, list) or len(resolved_list) != len(self.transforms):

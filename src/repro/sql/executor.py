@@ -448,10 +448,19 @@ class Executor:
         evaluator = ExpressionEvaluator(table)
         columns: list[Column] = []
         used_names: set[str] = set()
+        # Columns WindowNode materialised for this projection's explicit
+        # window items: ``*`` must not expand them (they are not source
+        # columns), or ``SELECT *, SUM(x) OVER (...) AS y`` would emit
+        # ``y`` twice.
+        window_names = {
+            item.output_name(index)
+            for index, item in enumerate(node.items)
+            if isinstance(item.expression, WindowFunction)
+        }
         for index, item in enumerate(node.items):
             if isinstance(item.expression, Star):
                 for col in table.columns():
-                    if col.name not in used_names:
+                    if col.name not in used_names and col.name not in window_names:
                         columns.append(col)
                         used_names.add(col.name)
                 continue

@@ -358,6 +358,7 @@ def apply_aggregate_segments(
         and bool(starts[0] == 0)
         and bool(ends[-1] == len(values))
         and bool(np.array_equal(np.asarray(starts[1:]), np.asarray(ends[:-1])))
+        and bool(np.all(np.asarray(starts) < np.asarray(ends)))
     )
     if not batchable:
         return [

@@ -10,7 +10,6 @@ from repro.net import (
     QueryCache,
     VirtualClock,
 )
-from repro.sql import Database
 
 
 ROWS = [{"a": float(i), "b": f"value-{i}"} for i in range(200)]
@@ -70,6 +69,43 @@ def test_virtual_clock_accumulates_and_resets():
     assert len(clock.events) == 3
     clock.reset()
     assert clock.total_seconds == 0
+
+
+@pytest.mark.parametrize(
+    ("preset", "rtt", "bandwidth"),
+    [
+        (NetworkModel.localhost, 0.0002, 5e9),
+        (NetworkModel.lan, 0.004, 500e6 / 8),
+        (NetworkModel.wan, 0.05, 50e6 / 8),
+    ],
+    ids=["localhost", "lan", "wan"],
+)
+def test_network_preset_transfer_math(preset, rtt, bandwidth):
+    """Each preset's transfer cost is exactly rtt * round_trips + bytes/bw."""
+    network = preset()
+    assert network.rtt_seconds == pytest.approx(rtt)
+    assert network.bandwidth_bytes_per_second == pytest.approx(bandwidth)
+    payload = 2_000_000
+    for round_trips in (1, 2, 5):
+        cost = network.transfer(payload, round_trips=round_trips)
+        assert cost.payload_bytes == payload
+        assert cost.round_trips == round_trips
+        assert cost.seconds == pytest.approx(round_trips * rtt + payload / bandwidth)
+    # An empty payload still pays the round-trip latency.
+    assert network.transfer(0).seconds == pytest.approx(rtt)
+
+
+def test_virtual_clock_event_log_labels():
+    clock = VirtualClock()
+    clock.add_compute(0.2, label="dataflow")
+    clock.add_network(0.01, label="fetch")
+    clock.add_serialization(0.002, label="decode")
+    assert clock.events == [("dataflow", 0.2), ("fetch", 0.01), ("decode", 0.002)]
+    assert clock.compute_seconds == pytest.approx(0.2)
+    assert clock.network_seconds == pytest.approx(0.01)
+    assert clock.serialization_seconds == pytest.approx(0.002)
+    clock.reset()
+    assert clock.events == []
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in Markdown files.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+
+Every ``[text](target)`` whose target is not an absolute URL or a pure
+anchor must resolve to an existing file or directory, relative to the
+Markdown file containing it (anchors are stripped before the check).
+Targets that escape the repository root (e.g. GitHub-served
+``../../actions/...`` badge paths) cannot be validated on disk and are
+skipped.  Directories are walked recursively for ``*.md`` files.  Exits
+non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Links resolving outside this root are GitHub-side paths, not files.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links; images share the syntax (leading ``!`` ignored).
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not relative file links.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(arguments: list[str]) -> list[Path]:
+    """Expand the CLI arguments into Markdown file paths."""
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def broken_links(markdown_path: Path) -> list[tuple[int, str]]:
+    """(line number, target) for each unresolvable relative link."""
+    problems: list[tuple[int, str]] = []
+    for line_number, line in enumerate(
+        markdown_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (markdown_path.parent / relative).resolve()
+            if not resolved.is_relative_to(_REPO_ROOT):
+                continue
+            if not resolved.exists():
+                problems.append((line_number, target))
+    return problems
+
+
+def main(arguments: list[str]) -> int:
+    if not arguments:
+        print("usage: check_links.py <file-or-directory> ...", file=sys.stderr)
+        return 2
+    files = markdown_files(arguments)
+    failures = 0
+    for markdown_path in files:
+        if not markdown_path.exists():
+            print(f"MISSING FILE {markdown_path}", file=sys.stderr)
+            failures += 1
+            continue
+        for line_number, target in broken_links(markdown_path):
+            print(f"BROKEN {markdown_path}:{line_number}: {target}", file=sys.stderr)
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"{failures} broken link(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {checked} markdown file(s), no broken relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
