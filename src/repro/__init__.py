@@ -16,6 +16,8 @@ This package re-implements the full stack in Python:
 * :mod:`repro.expr` - the Vega expression language and its SQL translation,
 * :mod:`repro.rewrite` - query rewriting into VDT operators,
 * :mod:`repro.net` - the middleware, caches, codecs and network model,
+* :mod:`repro.server` - the concurrent serving runtime (per-client
+  sessions, single-flight request scheduler, admission statistics),
 * :mod:`repro.ml` - from-scratch RankSVM and Random Forest,
 * :mod:`repro.core` - the VegaPlus optimizer (enumeration, encoding,
   pairwise comparators, session consolidation) and the end-to-end system,
@@ -59,10 +61,11 @@ from repro.core import (
     HeuristicComparator,
     RandomComparator,
 )
+from repro.server import ClientSession, RequestScheduler, SessionManager
 from repro.vega import VegaRuntime
 from repro.baselines import VegaNativeSystem, VegaFusionSystem
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "Database",
@@ -84,5 +87,8 @@ __all__ = [
     "VegaRuntime",
     "VegaNativeSystem",
     "VegaFusionSystem",
+    "ClientSession",
+    "RequestScheduler",
+    "SessionManager",
     "__version__",
 ]

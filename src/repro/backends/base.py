@@ -73,6 +73,14 @@ class BackendCapabilities:
     supported_aggregates: frozenset[str] = field(default=CORE_AGGREGATES)
     #: Scalar function names the backend executes (upper-case).
     supported_scalar_functions: frozenset[str] = field(default=CORE_SCALAR_FUNCTIONS)
+    #: Whether concurrent ``execute()`` calls from multiple threads are
+    #: safe.  The serving runtime (:mod:`repro.server`) refuses to fan a
+    #: worker pool out over a backend that does not declare this.
+    thread_safe: bool = False
+    #: How the backend achieves thread safety: ``"shared"`` (one engine
+    #: instance with internal locking), ``"per-thread"`` (a dedicated
+    #: connection per worker thread over shared storage), or ``"none"``.
+    connection_strategy: str = "none"
 
     # -------------------------------------------------------------- #
     # Clauses the SQL generator derives from the flags

@@ -18,13 +18,18 @@ from repro.storage.catalog import Catalog
 from repro.storage.statistics import TableStatistics
 from repro.storage.table import Table
 
-#: Dialect description of the embedded engine.
+#: Dialect description of the embedded engine.  Concurrent execution is
+#: safe because the engine's shared mutable state (plan-cache LRU, metrics
+#: counters, catalog registry) is internally locked; query execution
+#: itself only reads the immutable column arrays.
 EMBEDDED_CAPABILITIES = BackendCapabilities(
     name="embedded",
     supports_window_functions=True,
     supports_nulls_ordering_clause=False,
     nulls_sort_largest=True,
     default_window_frame_is_rows=True,
+    thread_safe=True,
+    connection_strategy="shared",
 )
 
 

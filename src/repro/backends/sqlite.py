@@ -24,12 +24,22 @@ Dialect shims applied to reach the shared semantics:
   (``SQLITE_ENABLE_MATH_FUNCTIONS`` is common but not guaranteed),
 * NaN is stored as NULL on load — SQLite has no NaN, and NaN *is* the
   embedded engine's NULL encoding.
+
+Concurrency: ``sqlite3`` connections must not be shared across threads,
+so the backend keeps **one connection per thread** over a single
+shared-cache in-memory database (``file:...?mode=memory&cache=shared``).
+All connections see the same tables; UDFs are (re-)registered on each
+connection as it is created.  A keeper connection opened at construction
+pins the in-memory database alive for the backend's lifetime.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
+import os
 import sqlite3
+import threading
 import time
 from collections.abc import Mapping, Sequence
 
@@ -49,12 +59,16 @@ from repro.storage.statistics import TableStatistics
 from repro.storage.table import Table
 
 #: Dialect description of SQLite (3.30+ for the NULLS ordering clause).
+#: Concurrency comes from per-thread connections over one shared-cache
+#: in-memory database, so parallel reads never share a connection object.
 SQLITE_CAPABILITIES = BackendCapabilities(
     name="sqlite",
     supports_window_functions=True,
     supports_nulls_ordering_clause=True,
     nulls_sort_largest=False,
     default_window_frame_is_rows=False,
+    thread_safe=True,
+    connection_strategy="per-thread",
 )
 
 #: Scalar math functions registered as UDFs when the build lacks them.
@@ -113,6 +127,12 @@ class SqliteBackend(SQLBackend):
     estimator and plan encoder see the same table statistics they would
     on the embedded backend.
 
+    Each thread that touches the backend gets its own ``sqlite3``
+    connection to one shared-cache in-memory database, so concurrent
+    sessions (the :mod:`repro.server` worker pool) never violate
+    sqlite3's one-thread-per-connection rule while still reading the
+    same tables.
+
     Parameters
     ----------
     keep_query_log:
@@ -122,12 +142,24 @@ class SqliteBackend(SQLBackend):
 
     name = "sqlite"
 
+    #: Distinguishes the shared-cache URI of each live backend instance.
+    _instance_ids = itertools.count()
+
     def __init__(self, keep_query_log: bool = True, **_ignored: object) -> None:
-        self._connection = sqlite3.connect(":memory:", check_same_thread=False)
+        self._uri = (
+            f"file:repro-sqlite-{os.getpid()}-{next(self._instance_ids)}"
+            "?mode=memory&cache=shared"
+        )
+        self._local = threading.local()
+        self._connections: list[sqlite3.Connection] = []
+        self._connections_lock = threading.Lock()
+        self._closed = False
         self._catalog = Catalog()
         self._keep_query_log = keep_query_log
         self._metrics = EngineMetrics()
-        self._register_functions()
+        # The keeper: the shared in-memory database lives exactly as long
+        # as at least one connection to its URI is open.
+        self._keeper = self.connection
 
     # ------------------------------------------------------------------ #
     @property
@@ -144,15 +176,39 @@ class SqliteBackend(SQLBackend):
 
     @property
     def connection(self) -> sqlite3.Connection:
-        """The underlying SQLite connection (for tests and debugging)."""
-        return self._connection
+        """The calling thread's connection (created on first use)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            if self._closed:
+                raise ExecutionError("sqlite backend is closed")
+            return connection
+        if self._closed:
+            raise ExecutionError("sqlite backend is closed")
+        connection = sqlite3.connect(
+            self._uri, uri=True, timeout=10.0, check_same_thread=False
+        )
+        self._register_functions(connection)
+        with self._connections_lock:
+            # Atomic with close(): a connection opened while close() runs
+            # must not resurrect an empty shared-cache database or leak.
+            if self._closed:
+                connection.close()
+                raise ExecutionError("sqlite backend is closed")
+            self._connections.append(connection)
+        self._local.connection = connection
+        return connection
+
+    def connection_count(self) -> int:
+        """Number of per-thread connections opened so far."""
+        with self._connections_lock:
+            return len(self._connections)
 
     # ------------------------------------------------------------------ #
     # Table registration
     # ------------------------------------------------------------------ #
     def register_table(self, name: str, table: Table, replace: bool = False) -> None:
         self._catalog.register(name, table, replace=replace)
-        load_table(self._connection, name, self._catalog.get(name), replace=replace)
+        load_table(self.connection, name, self._catalog.get(name), replace=replace)
 
     def register_rows(
         self,
@@ -175,8 +231,9 @@ class SqliteBackend(SQLBackend):
 
     def drop_table(self, name: str) -> None:
         self._catalog.drop(name)
-        self._connection.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
-        self._connection.commit()
+        connection = self.connection
+        connection.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
+        connection.commit()
 
     def table_names(self) -> list[str]:
         return self._catalog.table_names()
@@ -206,7 +263,7 @@ class SqliteBackend(SQLBackend):
             return result
         start = time.perf_counter()
         try:
-            cursor = self._connection.execute(sql)
+            cursor = self.connection.execute(sql)
             rows = cursor.fetchall()
         except sqlite3.Error as exc:
             raise ExecutionError(f"sqlite backend failed to execute {sql!r}: {exc}") from exc
@@ -231,17 +288,30 @@ class SqliteBackend(SQLBackend):
         return CostEstimator(self._catalog).estimate(plan)
 
     def close(self) -> None:
-        self._connection.close()
+        """Close every per-thread connection (frees the shared database)."""
+        with self._connections_lock:
+            self._closed = True
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            try:
+                connection.close()
+            except sqlite3.ProgrammingError:
+                pass  # already closed by its owning thread
 
     # ------------------------------------------------------------------ #
-    def _register_functions(self) -> None:
-        """Install aggregate UDFs and any missing math scalar functions."""
-        self._connection.create_aggregate("MEDIAN", 1, _Median)
-        self._connection.create_aggregate("STDDEV", 1, _Stddev)
-        self._connection.create_aggregate("VARIANCE", 1, _Variance)
+    @staticmethod
+    def _register_functions(connection: sqlite3.Connection) -> None:
+        """Install aggregate UDFs and any missing math scalar functions.
+
+        UDFs are connection-scoped in sqlite3, so this runs once per
+        per-thread connection.
+        """
+        connection.create_aggregate("MEDIAN", 1, _Median)
+        connection.create_aggregate("STDDEV", 1, _Stddev)
+        connection.create_aggregate("VARIANCE", 1, _Variance)
         for function_name, (arity, impl) in _SCALAR_FALLBACKS.items():
             probe = f"SELECT {function_name}({', '.join(['1.0'] * arity)})"
             try:
-                self._connection.execute(probe)
+                connection.execute(probe)
             except sqlite3.OperationalError:
-                self._connection.create_function(function_name, arity, impl)
+                connection.create_function(function_name, arity, impl)

@@ -13,11 +13,20 @@ Contents:
   pairs;
 * :mod:`repro.bench.experiments` — one runner per table/figure of the
   paper's evaluation (Tables 1-5, Figures 6-9);
+* :mod:`repro.bench.concurrency` — the concurrent multi-session workload
+  driver (N users × scenario, latency percentiles, serial-equivalence
+  checking) behind the Figure 10 extension benchmark;
 * :mod:`repro.bench.reporting` — small helpers to format result tables.
 """
 
 from repro.bench.workload import InteractionWorkload, WorkloadGenerator, TemplateInstance
 from repro.bench.harness import BenchmarkHarness, PlanMeasurement, SessionMeasurement
+from repro.bench.concurrency import (
+    CONCURRENCY_SCENARIOS,
+    ConcurrencyResult,
+    build_sessions,
+    run_scenario,
+)
 from repro.bench.templates import all_templates, get_template
 
 __all__ = [
@@ -27,6 +36,10 @@ __all__ = [
     "BenchmarkHarness",
     "PlanMeasurement",
     "SessionMeasurement",
+    "CONCURRENCY_SCENARIOS",
+    "ConcurrencyResult",
+    "build_sessions",
+    "run_scenario",
     "all_templates",
     "get_template",
 ]

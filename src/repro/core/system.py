@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.backends import SQLBackend, as_backend
 from repro.core.comparators import HeuristicComparator, PlanComparator
@@ -31,6 +32,9 @@ from repro.net.serialize import ArrowCodec, Codec
 from repro.rewrite.rewriter import RewrittenDataflow
 from repro.sql.engine import Database
 from repro.vega.spec import VegaSpec, parse_spec_dict
+
+if TYPE_CHECKING:  # import kept lazy; repro.server pulls in the runtime
+    from repro.server.session import ClientSession
 
 
 @dataclass
@@ -72,27 +76,53 @@ class InteractionResult:
 
 
 class VegaPlusSystem:
-    """The complete VegaPlus stack for one dashboard specification."""
+    """The complete VegaPlus stack for one dashboard specification.
+
+    Parameters
+    ----------
+    spec:
+        The dashboard's Vega specification.
+    database:
+        The server-side backend (any :class:`SQLBackend`, or a raw
+        :class:`Database`).  May be omitted when ``middleware`` is given.
+    middleware:
+        An existing query service to execute through instead of building
+        a private :class:`MiddlewareServer` — either a shared middleware
+        or a :class:`~repro.server.session.ClientSession`, so per-user
+        dashboards can run on one concurrent serving runtime.
+    """
 
     def __init__(
         self,
         spec: VegaSpec | dict,
-        database: SQLBackend | Database,
+        database: SQLBackend | Database | None = None,
         comparator: PlanComparator | None = None,
         network: NetworkModel | None = None,
         codec: Codec | None = None,
         enable_cache: bool = True,
+        middleware: MiddlewareServer | ClientSession | None = None,
     ) -> None:
         self.spec = parse_spec_dict(spec) if isinstance(spec, dict) else spec
-        #: The server-side SQL backend; a raw :class:`Database` is adapted
-        #: to the backend protocol so pre-backend call sites keep working.
-        self.database = as_backend(database)
-        self.middleware = MiddlewareServer(
-            self.database,
-            network=network or NetworkModel.lan(),
-            codec=codec or ArrowCodec(),
-            enable_cache=enable_cache,
-        )
+        if middleware is not None:
+            #: Shared serving runtime: the middleware (or client session)
+            #: was built elsewhere; network/codec/cache knobs stay with it.
+            self.middleware = middleware
+            self.database = middleware.database
+        elif database is not None:
+            #: The server-side SQL backend; a raw :class:`Database` is
+            #: adapted to the backend protocol so pre-backend call sites
+            #: keep working.
+            self.database = as_backend(database)
+            self.middleware = MiddlewareServer(
+                self.database,
+                network=network or NetworkModel.lan(),
+                codec=codec or ArrowCodec(),
+                enable_cache=enable_cache,
+            )
+        else:
+            raise OptimizationError(
+                "VegaPlusSystem needs a database backend or a middleware/session"
+            )
         self.comparator = comparator or HeuristicComparator()
         self.optimizer = VegaPlusOptimizer(self.spec, self.middleware, self.comparator)
         self.plan: ExecutionPlan | None = None

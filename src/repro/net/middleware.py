@@ -4,17 +4,30 @@ VDT operators send SQL over (simulated) HTTP to this middleware, which
 checks the caches, executes the query on the configured
 :class:`~repro.backends.base.SQLBackend` when needed, serialises the
 result and returns it together with a cost breakdown (server compute,
-serialisation, network transfer).  The client-side cache is also owned
-here for convenience — lookups against it cost nothing on the network.
+serialisation, network transfer).
+
+The middleware is a **stateless query service** with respect to clients:
+:meth:`serve` takes the calling session's client-side cache and network
+model as arguments, so one middleware instance can serve many concurrent
+sessions (see :mod:`repro.server`).  The legacy single-user entry point
+:meth:`execute` still works — it serves against a default built-in
+client cache, preserving the original one-dashboard behaviour.
 
 Cache entries are keyed on ``<backend name>::<sql>`` so results from two
 backends can never alias, even when middleware caches are shared or
-compared across backend runs.
+compared across backend runs.  When a :class:`RequestScheduler` is
+attached, backend executions run on its bounded worker pool with
+single-flight coalescing: concurrent identical requests share one
+execution, and the result is published to the server cache *before* the
+in-flight entry retires, so a request can never slip between "missed the
+cache" and "missed the flight" into a duplicate execution.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.backends import SQLBackend, as_backend
 from repro.backends.base import BackendCapabilities
@@ -22,6 +35,9 @@ from repro.net.cache import QueryCache
 from repro.net.channel import NetworkModel
 from repro.net.serialize import ArrowCodec, Codec
 from repro.sql.engine import Database
+
+if TYPE_CHECKING:  # avoids a runtime repro.net ↔ repro.server cycle
+    from repro.server.scheduler import RequestScheduler
 
 
 @dataclass
@@ -35,6 +51,8 @@ class QueryResponse:
     network_seconds: float
     serialization_seconds: float
     cache_level: str | None = None
+    #: True when this request shared another request's in-flight execution.
+    coalesced: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -47,6 +65,20 @@ class QueryResponse:
         return self.cache_level is not None
 
 
+@dataclass
+class _ExecutionOutcome:
+    """Backend-side result shared by all coalesced requesters."""
+
+    rows: list[dict]
+    payload_bytes: int
+    server_seconds: float
+    encode_seconds: float
+    decode_seconds: float
+    #: ``"backend"`` for a fresh execution, ``"server-cache"`` when the
+    #: in-flight check found the result already published.
+    source: str = "backend"
+
+
 class MiddlewareServer:
     """Simulated middleware tier.
 
@@ -56,13 +88,21 @@ class MiddlewareServer:
         The backend DBMS: any :class:`SQLBackend`, or a raw
         :class:`Database` (wrapped in an embedded backend).
     network:
-        Latency/bandwidth model of the client↔middleware link.
+        Default latency/bandwidth model of the client↔middleware link
+        (sessions may override per request via :meth:`serve`).
     codec:
         Result serialisation codec (Arrow-like binary by default).
     enable_cache:
         Turn the two-level cache of Section 5.5 on or off.
     client_cache_entries / server_cache_entries / max_cached_result_bytes:
         Cache sizing knobs.
+    cache_policy:
+        Eviction policy of both built-in caches (``fifo``/``lru``).
+    server_cache_bytes:
+        Optional total-byte budget of the shared server cache.
+    scheduler:
+        Optional :class:`RequestScheduler`; when given, backend queries
+        run on its bounded pool with single-flight coalescing.
     """
 
     def __init__(
@@ -74,22 +114,30 @@ class MiddlewareServer:
         client_cache_entries: int = 32,
         server_cache_entries: int = 128,
         max_cached_result_bytes: int = 2_000_000,
+        cache_policy: str = "fifo",
+        server_cache_bytes: int | None = None,
+        scheduler: RequestScheduler | None = None,
     ) -> None:
         self.database = as_backend(database)
         self.network = network or NetworkModel.lan()
         self.codec = codec or ArrowCodec()
         self.enable_cache = enable_cache
+        self.scheduler = scheduler
         self.client_cache = QueryCache(
             max_entries=client_cache_entries,
             max_result_bytes=max_cached_result_bytes,
             name="client",
+            policy=cache_policy,
         )
         self.server_cache = QueryCache(
             max_entries=server_cache_entries,
             max_result_bytes=max_cached_result_bytes,
             name="server",
+            policy=cache_policy,
+            max_total_bytes=server_cache_bytes,
         )
         self.queries_executed = 0
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -108,68 +156,167 @@ class MiddlewareServer:
 
     # ------------------------------------------------------------------ #
     def execute(self, sql: str) -> QueryResponse:
-        """Serve one SQL request from cache or by executing on the DBMS.
+        """Serve one SQL request for the default (single-user) session."""
+        return self.serve(sql, client_cache=self.client_cache)
 
-        Lookup order follows the paper: client cache, then the middleware
-        cache (one round trip, tiny payload), then full DBMS execution.
+    def serve(
+        self,
+        sql: str,
+        client_cache: QueryCache | None = None,
+        network: NetworkModel | None = None,
+    ) -> QueryResponse:
+        """Serve one SQL request on behalf of one session.
+
+        Lookup order follows the paper: the session's client cache, then
+        the shared middleware cache (one round trip, tiny payload), then
+        DBMS execution — through the scheduler's single-flight pool when
+        one is attached.
+
+        Parameters
+        ----------
+        sql:
+            The query to serve.
+        client_cache:
+            The *calling session's* client-side cache (``None`` = no
+            client cache, e.g. cache-disabled runs).
+        network:
+            The calling session's link model; defaults to the
+            middleware's own.
         """
+        network = network or self.network
         key = self.cache_key(sql)
         if self.enable_cache:
-            client_hit = self.client_cache.get(key)
-            if client_hit is not None:
-                return QueryResponse(
-                    sql=sql,
-                    rows=client_hit.rows,
-                    payload_bytes=client_hit.payload_bytes,
-                    server_seconds=0.0,
-                    network_seconds=0.0,
-                    serialization_seconds=0.0,
-                    cache_level="client",
-                )
+            if client_cache is not None:
+                client_hit = client_cache.get(key)
+                if client_hit is not None:
+                    return QueryResponse(
+                        sql=sql,
+                        rows=client_hit.rows,
+                        payload_bytes=client_hit.payload_bytes,
+                        server_seconds=0.0,
+                        network_seconds=0.0,
+                        serialization_seconds=0.0,
+                        cache_level="client",
+                    )
             server_hit = self.server_cache.get(key)
             if server_hit is not None:
-                transfer = self.network.transfer(server_hit.payload_bytes)
-                estimate = self.codec.estimate(server_hit.rows)
-                self.client_cache.put(key, server_hit.rows, server_hit.payload_bytes)
-                return QueryResponse(
-                    sql=sql,
-                    rows=server_hit.rows,
-                    payload_bytes=server_hit.payload_bytes,
-                    server_seconds=0.0,
-                    network_seconds=transfer.seconds,
-                    serialization_seconds=estimate.decode_seconds,
-                    cache_level="server",
+                return self._respond_from_server_cache(
+                    sql, key, server_hit.rows, server_hit.payload_bytes,
+                    client_cache, network,
                 )
 
-        result = self.database.execute(sql)
-        self.queries_executed += 1
-        rows = result.to_rows()
+        outcome, coalesced = self._execute_backend(key, sql)
+        if outcome.source == "server-cache":
+            return self._respond_from_server_cache(
+                sql, key, outcome.rows, outcome.payload_bytes,
+                client_cache, network, coalesced=coalesced,
+            )
+        if self.enable_cache and client_cache is not None:
+            client_cache.put(key, outcome.rows, outcome.payload_bytes)
+        transfer = network.transfer(outcome.payload_bytes)
+        return QueryResponse(
+            sql=sql,
+            rows=outcome.rows,
+            payload_bytes=outcome.payload_bytes,
+            server_seconds=outcome.server_seconds,
+            network_seconds=transfer.seconds,
+            serialization_seconds=outcome.encode_seconds + outcome.decode_seconds,
+            cache_level=None,
+            coalesced=coalesced,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _respond_from_server_cache(
+        self,
+        sql: str,
+        key: str,
+        rows: list[dict],
+        payload_bytes: int,
+        client_cache: QueryCache | None,
+        network: NetworkModel,
+        coalesced: bool = False,
+    ) -> QueryResponse:
+        """A middleware-cache hit: one round trip, decode on the client."""
+        transfer = network.transfer(payload_bytes)
         estimate = self.codec.estimate(rows)
-        transfer = self.network.transfer(estimate.payload_bytes)
-        if self.enable_cache:
-            self.server_cache.put(key, rows, estimate.payload_bytes)
-            self.client_cache.put(key, rows, estimate.payload_bytes)
+        if client_cache is not None:
+            client_cache.put(key, rows, payload_bytes)
         return QueryResponse(
             sql=sql,
             rows=rows,
-            payload_bytes=estimate.payload_bytes,
-            server_seconds=result.elapsed_seconds,
+            payload_bytes=payload_bytes,
+            server_seconds=0.0,
             network_seconds=transfer.seconds,
-            serialization_seconds=estimate.encode_seconds + estimate.decode_seconds,
-            cache_level=None,
+            serialization_seconds=estimate.decode_seconds,
+            cache_level="server",
+            coalesced=coalesced,
         )
 
+    def _execute_backend(self, key: str, sql: str) -> tuple[_ExecutionOutcome, bool]:
+        """Run ``sql`` directly or through the single-flight scheduler.
+
+        The flight key is scoped to the backend *instance*, not just its
+        name: a scheduler shared between two runtimes whose backends
+        happen to share a name ("sqlite") but hold different data must
+        never coalesce their queries into one execution.
+        """
+        if self.scheduler is None:
+            return self._load_or_execute(key, sql), False
+        flight_key = f"{id(self.database)}::{key}"
+        flight = self.scheduler.run(flight_key, lambda: self._load_or_execute(key, sql))
+        return flight.value, flight.coalesced
+
+    def _load_or_execute(self, key: str, sql: str) -> _ExecutionOutcome:
+        """Execute on the DBMS and publish to the server cache.
+
+        Re-checks the server cache first: a request that missed the cache
+        before an in-flight leader published its result would otherwise
+        re-execute after the flight retires.  With this check, a query is
+        executed at most once per cache residency.
+        """
+        if self.enable_cache:
+            published = self.server_cache.peek(key)
+            if published is not None:
+                return _ExecutionOutcome(
+                    rows=published.rows,
+                    payload_bytes=published.payload_bytes,
+                    server_seconds=0.0,
+                    encode_seconds=0.0,
+                    decode_seconds=0.0,
+                    source="server-cache",
+                )
+        result = self.database.execute(sql)
+        with self._stats_lock:
+            self.queries_executed += 1
+        rows = result.to_rows()
+        estimate = self.codec.estimate(rows)
+        if self.enable_cache:
+            self.server_cache.put(key, rows, estimate.payload_bytes)
+        return _ExecutionOutcome(
+            rows=rows,
+            payload_bytes=estimate.payload_bytes,
+            server_seconds=result.elapsed_seconds,
+            encode_seconds=estimate.encode_seconds,
+            decode_seconds=estimate.decode_seconds,
+            source="backend",
+        )
+
+    # ------------------------------------------------------------------ #
     def reset_caches(self) -> None:
-        """Clear both cache levels (between benchmark sessions)."""
+        """Clear both built-in cache levels (between benchmark sessions)."""
         self.client_cache.clear()
         self.server_cache.clear()
 
     def cache_statistics(self) -> dict[str, object]:
-        """Summary of cache behaviour for reporting."""
-        return {
+        """Summary of cache (and scheduler) behaviour for reporting."""
+        stats: dict[str, object] = {
             "client_hit_rate": self.client_cache.stats.hit_rate,
             "server_hit_rate": self.server_cache.stats.hit_rate,
             "client_entries": len(self.client_cache),
             "server_entries": len(self.server_cache),
+            "server_cache_bytes": self.server_cache.total_bytes,
             "queries_executed": self.queries_executed,
         }
+        if self.scheduler is not None:
+            stats["scheduler"] = self.scheduler.stats.snapshot()
+        return stats

@@ -1,0 +1,53 @@
+"""The concurrent serving runtime.
+
+The paper's middleware exists to serve interactive dashboards to many
+users at once; this package is the reproduction's multi-session tier on
+top of the (stateless) :class:`~repro.net.middleware.MiddlewareServer`:
+
+* :mod:`~repro.server.scheduler` — a bounded worker pool with
+  **single-flight coalescing**: concurrent identical
+  ``<backend>::<sql>`` requests share one backend execution, with
+  admission/queueing statistics,
+* :mod:`~repro.server.session` — :class:`SessionManager` /
+  :class:`ClientSession`: per-client state (client-side cache, network
+  profile, latency history) over the shared middleware, scheduler and
+  backend.
+
+Typical assembly::
+
+    backend = create_backend("sqlite")
+    backend.register_rows("flights", rows)
+    manager = SessionManager.for_backend(backend, max_workers=8)
+    session = manager.create_session("alice", network=NetworkModel.wan())
+    response = session.execute("SELECT carrier, COUNT(*) FROM flights GROUP BY carrier")
+
+Thread-safety contract: a :class:`ClientSession` belongs to one thread;
+everything shared underneath (server cache, scheduler, plan cache,
+engine metrics, backends) is internally locked.  Backends advertise
+their concurrency model via
+:attr:`~repro.backends.base.BackendCapabilities.thread_safe` and
+``connection_strategy``; ``SessionManager.for_backend`` enforces the
+flag before fanning out a pool.
+"""
+
+from repro.server.scheduler import (
+    RequestScheduler,
+    SchedulerStats,
+    SingleFlightOutcome,
+)
+from repro.server.session import (
+    LATENCY_PERCENTILES,
+    ClientSession,
+    SessionManager,
+    latency_percentiles,
+)
+
+__all__ = [
+    "ClientSession",
+    "LATENCY_PERCENTILES",
+    "RequestScheduler",
+    "SchedulerStats",
+    "SessionManager",
+    "SingleFlightOutcome",
+    "latency_percentiles",
+]

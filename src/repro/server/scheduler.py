@@ -1,0 +1,191 @@
+"""Bounded worker pool with single-flight request coalescing.
+
+The serving runtime funnels every backend query through one
+:class:`RequestScheduler`.  Two properties fall out:
+
+* **admission control** — at most ``max_workers`` queries execute on the
+  backend simultaneously; the rest queue (FIFO) inside the pool, and the
+  scheduler records how long callers waited end to end,
+* **single-flight coalescing** — concurrent requests for the same key
+  (the middleware uses ``<backend>::<sql>``) share ONE execution: the
+  first arrival becomes the *leader* and submits the work, every
+  overlapping arrival becomes a *follower* that waits on the leader's
+  future.  Under a crossfilter storm where eight dashboards fire the
+  same query, the backend runs it once.
+
+The scheduler is deliberately ignorant of caching and SQL — it maps a
+string key to a zero-argument callable.  The middleware composes it with
+the server cache so that the published result is visible in the cache
+*before* the in-flight entry is retired (no re-execution window).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class SchedulerStats:
+    """Admission and coalescing counters of one scheduler.
+
+    Mutated only under the owning scheduler's lock; reads are plain (a
+    snapshot may straddle an in-progress update by one count, which is
+    fine for reporting).
+    """
+
+    #: Total ``run()`` calls (leaders + followers).
+    submitted: int = 0
+    #: Executions actually dispatched to the pool (leaders).
+    executed: int = 0
+    #: Requests that attached to an in-flight execution (followers).
+    coalesced: int = 0
+    #: Executions that raised (their leaders and followers all re-raise).
+    failed: int = 0
+    #: Highest number of distinct keys in flight at once.
+    peak_in_flight: int = 0
+    #: Summed wall-clock seconds callers spent in ``run()`` (queueing +
+    #: execution + result wait).
+    total_wait_seconds: float = 0.0
+
+    @property
+    def coalescing_rate(self) -> float:
+        """Fraction of submissions served by somebody else's execution."""
+        return self.coalesced / self.submitted if self.submitted else 0.0
+
+    @property
+    def mean_wait_seconds(self) -> float:
+        """Average end-to-end wait per submission."""
+        return self.total_wait_seconds / self.submitted if self.submitted else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat copy of the counters for reporting."""
+        return {
+            "submitted": float(self.submitted),
+            "executed": float(self.executed),
+            "coalesced": float(self.coalesced),
+            "failed": float(self.failed),
+            "peak_in_flight": float(self.peak_in_flight),
+            "coalescing_rate": self.coalescing_rate,
+            "mean_wait_seconds": self.mean_wait_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class SingleFlightOutcome:
+    """What one ``run()`` call observed."""
+
+    #: The executed callable's return value (shared among coalesced callers).
+    value: object
+    #: True when this caller attached to an execution it did not start.
+    coalesced: bool
+    #: Wall-clock seconds this caller spent waiting for the value.
+    wait_seconds: float
+
+
+class RequestScheduler:
+    """Runs keyed requests on a bounded pool, coalescing duplicates.
+
+    Parameters
+    ----------
+    max_workers:
+        Size of the worker pool — the backend's admission limit.
+    name:
+        Thread-name prefix, useful in stack dumps.
+    """
+
+    def __init__(self, max_workers: int = 4, name: str = "repro-server") -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self.stats = SchedulerStats()
+        self._pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix=name)
+        self._lock = threading.Lock()
+        self._in_flight: dict[str, Future] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def run(self, key: str, fn: Callable[[], T]) -> SingleFlightOutcome:
+        """Execute ``fn`` (or wait on an identical in-flight execution).
+
+        Blocks until the value is available; exceptions raised by ``fn``
+        propagate to the leader *and* every coalesced follower.
+        """
+        start = time.perf_counter()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            self.stats.submitted += 1
+            future = self._in_flight.get(key)
+            coalesced = future is not None
+            if coalesced:
+                self.stats.coalesced += 1
+            else:
+                future = Future()
+                self._in_flight[key] = future
+                self.stats.executed += 1
+                self.stats.peak_in_flight = max(
+                    self.stats.peak_in_flight, len(self._in_flight)
+                )
+                try:
+                    self._pool.submit(self._lead, key, fn, future)
+                except BaseException:
+                    self._in_flight.pop(key, None)
+                    raise
+        try:
+            value = future.result()
+        except BaseException:
+            wait = time.perf_counter() - start
+            with self._lock:
+                self.stats.total_wait_seconds += wait
+            raise
+        wait = time.perf_counter() - start
+        with self._lock:
+            self.stats.total_wait_seconds += wait
+        return SingleFlightOutcome(value=value, coalesced=coalesced, wait_seconds=wait)
+
+    def _lead(self, key: str, fn: Callable[[], T], future: Future) -> None:
+        """Worker-side execution: retire the key, then resolve the future.
+
+        The in-flight entry is removed *before* the result is set: any
+        caller whose ``result()`` already returned is guaranteed a fresh
+        execution on its next submission (coalescing never outlives the
+        flight), while followers already holding the future still resolve
+        normally.  Work that must be visible to later requests — the
+        middleware publishes to its server cache — happens inside ``fn``,
+        i.e. strictly before the key retires.
+        """
+        try:
+            value = fn()
+        except BaseException as exc:
+            with self._lock:
+                self.stats.failed += 1
+                self._in_flight.pop(key, None)
+            future.set_exception(exc)
+            return
+        with self._lock:
+            self._in_flight.pop(key, None)
+        future.set_result(value)
+
+    # ------------------------------------------------------------------ #
+    def in_flight_count(self) -> int:
+        """Distinct keys currently executing or queued."""
+        with self._lock:
+            return len(self._in_flight)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) drain the pool."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "RequestScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

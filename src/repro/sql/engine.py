@@ -8,6 +8,7 @@ VegaPlus optimizer and the benchmark harness can observe server-side work.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from collections.abc import Mapping, Sequence
@@ -57,7 +58,12 @@ class QueryResult:
 
 @dataclass
 class EngineMetrics:
-    """Cumulative engine-level metrics across all executed queries."""
+    """Cumulative engine-level metrics across all executed queries.
+
+    Counters are updated under an internal lock so backends serving
+    concurrent sessions (:mod:`repro.server`) never lose increments to
+    read-modify-write races.
+    """
 
     queries_executed: int = 0
     total_execution_seconds: float = 0.0
@@ -69,45 +75,61 @@ class EngineMetrics:
     total_rows_sorted: int = 0
     total_rows_deduplicated: int = 0
     query_log: list[str] = field(default_factory=list)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def record(self, result: QueryResult, keep_log: bool) -> None:
         """Record one executed query."""
-        self.queries_executed += 1
-        self.total_execution_seconds += result.elapsed_seconds
-        self.total_rows_returned += result.num_rows
-        self.total_rows_grouped += result.stats.rows_grouped
-        self.total_groups_formed += result.stats.groups_formed
-        self.total_rows_sorted += result.stats.rows_sorted
-        self.total_rows_deduplicated += result.stats.rows_deduplicated
-        if keep_log:
-            self.query_log.append(result.sql)
+        with self._lock:
+            self.queries_executed += 1
+            self.total_execution_seconds += result.elapsed_seconds
+            self.total_rows_returned += result.num_rows
+            self.total_rows_grouped += result.stats.rows_grouped
+            self.total_groups_formed += result.stats.groups_formed
+            self.total_rows_sorted += result.stats.rows_sorted
+            self.total_rows_deduplicated += result.stats.rows_deduplicated
+            if keep_log:
+                self.query_log.append(result.sql)
+
+    def record_plan_cache_hit(self) -> None:
+        """Count one prepared-plan cache hit."""
+        with self._lock:
+            self.plan_cache_hits += 1
+
+    def record_plan_cache_miss(self) -> None:
+        """Count one prepared-plan cache miss."""
+        with self._lock:
+            self.plan_cache_misses += 1
 
     def snapshot(self) -> dict[str, float]:
         """Current counter values as a flat mapping (for delta reporting)."""
-        return {
-            "queries_executed": float(self.queries_executed),
-            "execution_seconds": float(self.total_execution_seconds),
-            "rows_returned": float(self.total_rows_returned),
-            "plan_cache_hits": float(self.plan_cache_hits),
-            "plan_cache_misses": float(self.plan_cache_misses),
-            "rows_grouped": float(self.total_rows_grouped),
-            "groups_formed": float(self.total_groups_formed),
-            "rows_sorted": float(self.total_rows_sorted),
-            "rows_deduplicated": float(self.total_rows_deduplicated),
-        }
+        with self._lock:
+            return {
+                "queries_executed": float(self.queries_executed),
+                "execution_seconds": float(self.total_execution_seconds),
+                "rows_returned": float(self.total_rows_returned),
+                "plan_cache_hits": float(self.plan_cache_hits),
+                "plan_cache_misses": float(self.plan_cache_misses),
+                "rows_grouped": float(self.total_rows_grouped),
+                "groups_formed": float(self.total_groups_formed),
+                "rows_sorted": float(self.total_rows_sorted),
+                "rows_deduplicated": float(self.total_rows_deduplicated),
+            }
 
     def reset(self) -> None:
         """Clear all counters (used between benchmark runs)."""
-        self.queries_executed = 0
-        self.total_execution_seconds = 0.0
-        self.total_rows_returned = 0
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
-        self.total_rows_grouped = 0
-        self.total_groups_formed = 0
-        self.total_rows_sorted = 0
-        self.total_rows_deduplicated = 0
-        self.query_log.clear()
+        with self._lock:
+            self.queries_executed = 0
+            self.total_execution_seconds = 0.0
+            self.total_rows_returned = 0
+            self.plan_cache_hits = 0
+            self.plan_cache_misses = 0
+            self.total_rows_grouped = 0
+            self.total_groups_formed = 0
+            self.total_rows_sorted = 0
+            self.total_rows_deduplicated = 0
+            self.query_log.clear()
 
 
 def normalize_sql(sql: str) -> str:
@@ -151,6 +173,7 @@ class Database:
         self._keep_query_log = keep_query_log
         self._plan_cache: OrderedDict[str, LogicalPlan] = OrderedDict()
         self._plan_cache_size = plan_cache_size
+        self._plan_cache_lock = threading.RLock()
         self.metrics = EngineMetrics()
 
     # ------------------------------------------------------------------ #
@@ -208,24 +231,34 @@ class Database:
         the tokenize → parse → plan → optimise pipeline entirely.  Plans
         resolve table names at execution time, so catalog changes never
         invalidate cached entries.
+
+        The LRU dict is guarded by a lock: concurrent ``execute()`` calls
+        (the serving runtime runs many sessions against one engine) must
+        not corrupt the :class:`OrderedDict` mid-reorder.  Compilation of
+        a missed plan happens *outside* the lock — two threads racing on
+        the same new query may both compile it, which is wasted work but
+        never wrong (last insert wins).
         """
         key = normalize_sql(sql)
-        cached = self._plan_cache.get(key)
-        if cached is not None:
-            self._plan_cache.move_to_end(key)
-            self.metrics.plan_cache_hits += 1
-            return cached
-        self.metrics.plan_cache_misses += 1
+        with self._plan_cache_lock:
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                self._plan_cache.move_to_end(key)
+                self.metrics.record_plan_cache_hit()
+                return cached
+        self.metrics.record_plan_cache_miss()
         plan = optimize_plan(build_logical_plan(parse_sql(sql)))
         if self._plan_cache_size > 0:
-            self._plan_cache[key] = plan
-            if len(self._plan_cache) > self._plan_cache_size:
-                self._plan_cache.popitem(last=False)
+            with self._plan_cache_lock:
+                self._plan_cache[key] = plan
+                if len(self._plan_cache) > self._plan_cache_size:
+                    self._plan_cache.popitem(last=False)
         return plan
 
     def clear_plan_cache(self) -> None:
         """Drop all cached prepared plans."""
-        self._plan_cache.clear()
+        with self._plan_cache_lock:
+            self._plan_cache.clear()
 
     def explain(self, sql: str) -> QueryCostEstimate:
         """Return the cost estimate the engine's EXPLAIN would produce."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Mapping, Sequence
 
 from repro.errors import CatalogError
@@ -16,20 +17,26 @@ class Catalog:
     existing name requires ``replace=True`` so tests catch accidental
     clobbering.  Statistics are computed lazily on first request and
     invalidated on re-registration.
+
+    Registry mutations and the lazy statistics computation run under an
+    internal lock: the serving runtime executes concurrent queries against
+    one shared catalog.
     """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._statistics: dict[str, TableStatistics] = {}
+        self._lock = threading.RLock()
 
     def register(self, name: str, table: Table, replace: bool = False) -> None:
         """Register ``table`` under ``name``."""
         if not name:
             raise CatalogError("table name must be non-empty")
-        if name in self._tables and not replace:
-            raise CatalogError(f"table {name!r} already registered (pass replace=True)")
-        self._tables[name] = Table(table.columns(), name=name)
-        self._statistics.pop(name, None)
+        with self._lock:
+            if name in self._tables and not replace:
+                raise CatalogError(f"table {name!r} already registered (pass replace=True)")
+            self._tables[name] = Table(table.columns(), name=name)
+            self._statistics.pop(name, None)
 
     def register_rows(
         self,
@@ -43,30 +50,35 @@ class Catalog:
 
     def drop(self, name: str) -> None:
         """Remove a table from the catalog."""
-        if name not in self._tables:
-            raise CatalogError(f"cannot drop unknown table {name!r}")
-        del self._tables[name]
-        self._statistics.pop(name, None)
+        with self._lock:
+            if name not in self._tables:
+                raise CatalogError(f"cannot drop unknown table {name!r}")
+            del self._tables[name]
+            self._statistics.pop(name, None)
 
     def get(self, name: str) -> Table:
         """Look up a table by name."""
-        try:
-            return self._tables[name]
-        except KeyError as exc:
-            raise CatalogError(
-                f"unknown table {name!r}; registered tables: {self.table_names()}"
-            ) from exc
+        with self._lock:
+            try:
+                return self._tables[name]
+            except KeyError as exc:
+                raise CatalogError(
+                    f"unknown table {name!r}; registered tables: {self.table_names()}"
+                ) from exc
 
     def has(self, name: str) -> bool:
         """Whether ``name`` is registered."""
-        return name in self._tables
+        with self._lock:
+            return name in self._tables
 
     def table_names(self) -> list[str]:
         """All registered table names, sorted."""
-        return sorted(self._tables)
+        with self._lock:
+            return sorted(self._tables)
 
     def statistics(self, name: str) -> TableStatistics:
         """Statistics for a registered table (computed lazily, then cached)."""
-        if name not in self._statistics:
-            self._statistics[name] = compute_table_statistics(self.get(name))
-        return self._statistics[name]
+        with self._lock:
+            if name not in self._statistics:
+                self._statistics[name] = compute_table_statistics(self.get(name))
+            return self._statistics[name]

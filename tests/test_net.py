@@ -146,6 +146,82 @@ def test_cache_rejects_large_results_and_duplicates():
 def test_cache_invalid_capacity():
     with pytest.raises(ValueError):
         QueryCache(max_entries=0)
+    with pytest.raises(ValueError):
+        QueryCache(policy="random")
+    with pytest.raises(ValueError):
+        QueryCache(max_total_bytes=0)
+
+
+def test_cache_lru_policy_keeps_recently_used_entries():
+    cache = QueryCache(max_entries=2, policy="lru")
+    cache.put("q1", [], 10)
+    cache.put("q2", [], 10)
+    assert cache.get("q1") is not None  # refresh q1's recency
+    cache.put("q3", [], 10)  # evicts q2, the least recently used
+    assert cache.contains("q1") and cache.contains("q3")
+    assert not cache.contains("q2")
+    # Under FIFO the same sequence evicts q1 (oldest insertion) instead.
+    fifo = QueryCache(max_entries=2, policy="fifo")
+    fifo.put("q1", [], 10)
+    fifo.put("q2", [], 10)
+    assert fifo.get("q1") is not None
+    fifo.put("q3", [], 10)
+    assert not fifo.contains("q1")
+    assert fifo.contains("q2") and fifo.contains("q3")
+
+
+def test_cache_byte_budget_evicts_until_total_fits():
+    cache = QueryCache(max_entries=10, max_total_bytes=100)
+    cache.put("a", [], 40)
+    cache.put("b", [], 40)
+    assert cache.total_bytes == 80
+    cache.put("c", [], 40)  # 120 > 100: evicts "a"
+    assert not cache.contains("a")
+    assert cache.total_bytes == 80
+    assert cache.stats.evictions == 1
+    assert cache.stats.evicted_bytes == 40
+    # A result larger than the whole budget is rejected outright.
+    assert cache.put("huge", [], 150) is False
+    assert cache.stats.rejected_too_large == 1
+    cache.clear()
+    assert cache.total_bytes == 0
+
+
+def test_cache_statistics_expose_policy_and_budget():
+    cache = QueryCache(max_entries=4, policy="lru", max_total_bytes=500)
+    assert cache.stats.policy == "lru"
+    assert cache.stats.byte_budget == 500
+    cache.put("q", [], 123)
+    assert cache.stats.current_bytes == 123
+    assert cache.peek("q") is not None
+    assert cache.stats.hits == 0 and cache.stats.misses == 0  # peek is silent
+
+
+def test_cache_is_thread_safe_under_contention():
+    import threading
+
+    cache = QueryCache(max_entries=8, policy="lru", max_total_bytes=400)
+    errors = []
+
+    def hammer(worker: int) -> None:
+        try:
+            for i in range(300):
+                key = f"q{(worker + i) % 12}"
+                cache.put(key, [], 50)
+                cache.get(key)
+        except BaseException as exc:  # corrupt OrderedDict raises here
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= 8
+    assert cache.total_bytes <= 400
+    stats = cache.stats
+    assert stats.insertions - stats.evictions == len(cache)
 
 
 # --------------------------------------------------------------------------- #

@@ -17,6 +17,12 @@ backend); an experiment appearing in several files is keyed as
 backend-independent experiments that repeat across input files under the
 same key (the SQL kernel micro-benchmarks), the first file listed wins
 and the duplicates are reported on stderr.
+
+Experiments that record latency percentiles (the concurrency benchmarks
+put ``extra_info["latency_percentiles"] = {"p50": ..., "p95": ...,
+"p99": ...}``) get those lifted to a top-level ``latency_percentiles``
+entry, alongside ``coalescing_rate`` when present, so the trend summary
+carries tail-latency data without digging through ``extra_info``.
 """
 
 from __future__ import annotations
@@ -52,13 +58,22 @@ def summarize(raw_paths: list[Path]) -> dict:
                 )
                 continue
             stats = benchmark["stats"]
-            experiments[key] = {
+            entry = {
                 "median_seconds": round(stats["median"], 6),
                 "min_seconds": round(stats["min"], 6),
                 "mean_seconds": round(stats["mean"], 6),
                 "rounds": stats["rounds"],
                 "extra_info": extra,
             }
+            percentiles = extra.get("latency_percentiles")
+            if isinstance(percentiles, dict):
+                entry["latency_percentiles"] = {
+                    name: round(float(value), 6)
+                    for name, value in sorted(percentiles.items())
+                }
+            if "coalescing_rate" in extra:
+                entry["coalescing_rate"] = round(float(extra["coalescing_rate"]), 4)
+            experiments[key] = entry
     return {
         "schema": "bench-summary/v1",
         "machine": sorted(machines),
