@@ -49,13 +49,13 @@ from repro.backends.base import BackendCapabilities, SQLBackend
 from repro.errors import ExecutionError
 from repro.sql.engine import EngineMetrics, QueryResult
 from repro.sql.executor import ExecutionStats
-from repro.sql.explain import CostEstimator, QueryCostEstimate
+from repro.sql.explain import CostEstimator, QueryCostEstimate, query_shape
 from repro.sql.optimizer import optimize_plan
 from repro.sql.parser import parse_sql
 from repro.sql.planner import build_logical_plan
 from repro.storage.catalog import Catalog
 from repro.storage.sqlite_adapter import load_table, quote_identifier, table_from_cursor
-from repro.storage.statistics import TableStatistics
+from repro.storage.statistics import CardinalityFeedback, TableStatistics
 from repro.storage.table import Table
 
 #: Dialect description of SQLite (3.30+ for the NULLS ordering clause).
@@ -273,19 +273,26 @@ class SqliteBackend(SQLBackend):
         self.metrics.record(result, self._keep_query_log)
         return result
 
-    def explain(self, sql: str) -> QueryCostEstimate:
+    def explain(
+        self, sql: str, feedback: CardinalityFeedback | None = None
+    ) -> QueryCostEstimate:
         """Cost estimate for ``sql`` from the shared cost model.
 
         Cost estimation is backend-independent (it reads catalog
         statistics, not the engine), so the embedded planner estimates
         sqlite-bound queries too; dialect-only clauses the embedded
-        parser does not know are stripped first.
+        parser does not know are stripped first.  ``feedback`` calibrates
+        the root cardinality exactly as on the embedded backend.
         """
         text = sql.removeprefix("EXPLAIN ").removeprefix("explain ")
+        # Shape key from the *original* dialect text: the serving tier
+        # records observations under the SQL it actually executed, so the
+        # lookup key must match before dialect clauses are stripped.
+        shape = query_shape(text) if feedback is not None else None
         for clause in _DIALECT_CLAUSES:
             text = text.replace(clause, "")
         plan = optimize_plan(build_logical_plan(parse_sql(text)))
-        return CostEstimator(self._catalog).estimate(plan)
+        return CostEstimator(self._catalog, feedback=feedback).estimate(plan, shape_key=shape)
 
     def close(self) -> None:
         """Close every per-thread connection (frees the shared database)."""

@@ -241,11 +241,17 @@ def _rule_model_accuracy(
             episodes = [vectors]
             episode_latencies = [latencies]
         for vectors, latencies in zip(episodes, episode_latencies):
-            normalized = normalize_cardinalities(list(vectors))
-            for i in range(len(normalized)):
-                for j in range(i + 1, len(normalized)):
+            # Rule-based comparators reason about raw row counts
+            # (wants_normalized=False); learned models about the
+            # log-normalised features they were trained on.
+            if comparator.wants_normalized:
+                encoded = normalize_cardinalities(list(vectors))
+            else:
+                encoded = list(vectors)
+            for i in range(len(encoded)):
+                for j in range(i + 1, len(encoded)):
                     truth = 1 if latencies[i] < latencies[j] else 0
-                    if comparator.compare(normalized[i], normalized[j]) == truth:
+                    if comparator.compare(encoded[i], encoded[j]) == truth:
                         correct += 1
                     total += 1
     return correct / total if total else 0.0

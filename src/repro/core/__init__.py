@@ -12,24 +12,35 @@ Pipeline (Section 5):
    learned models (RankSVM, Random Forest), the heuristic rule model and
    the random baseline.
 4. :mod:`~repro.core.consolidation` — combine per-interaction decisions
-   into one plan for a whole exploration session.
-5. :class:`~repro.core.optimizer.VegaPlusOptimizer` and
+   into one plan for a whole exploration session, incrementally as the
+   episodes arrive.
+5. :mod:`~repro.core.policy` — plan policies: the one-shot
+   :class:`~repro.core.policy.StaticPolicy` baseline and the
+   feedback-driven :class:`~repro.core.policy.AdaptivePolicy` that
+   replans mid-session when observed latencies diverge from predictions.
+6. :class:`~repro.core.optimizer.VegaPlusOptimizer` and
    :class:`~repro.core.system.VegaPlusSystem` — the user-facing facade that
-   ties enumeration, encoding, comparison and execution together.
+   ties enumeration, encoding, comparison, policies and execution together.
 """
 
 from repro.core.plan import ExecutionPlan
 from repro.core.enumerator import PlanEnumerator
-from repro.core.encoder import PlanEncoder, PlanVector, FEATURE_OPERATOR_TYPES
+from repro.core.encoder import PlanEncoder, PlanVector, FEATURE_OPERATOR_TYPES, vdt_shape_key
 from repro.core.comparators import (
     PlanComparator,
     RankSVMComparator,
     RandomForestComparator,
     HeuristicComparator,
     RandomComparator,
+    OnlineComparatorTrainer,
     train_comparator,
 )
-from repro.core.consolidation import consolidate_session, SessionDecision
+from repro.core.consolidation import (
+    IncrementalConsolidator,
+    consolidate_session,
+    SessionDecision,
+)
+from repro.core.policy import AdaptivePolicy, PlanPolicy, ReplanEvent, StaticPolicy
 from repro.core.optimizer import VegaPlusOptimizer, OptimizationResult
 from repro.core.system import VegaPlusSystem, InteractionResult
 
@@ -39,14 +50,21 @@ __all__ = [
     "PlanEncoder",
     "PlanVector",
     "FEATURE_OPERATOR_TYPES",
+    "vdt_shape_key",
     "PlanComparator",
     "RankSVMComparator",
     "RandomForestComparator",
     "HeuristicComparator",
     "RandomComparator",
+    "OnlineComparatorTrainer",
     "train_comparator",
+    "IncrementalConsolidator",
     "consolidate_session",
     "SessionDecision",
+    "PlanPolicy",
+    "StaticPolicy",
+    "AdaptivePolicy",
+    "ReplanEvent",
     "VegaPlusOptimizer",
     "OptimizationResult",
     "VegaPlusSystem",

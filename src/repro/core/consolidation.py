@@ -11,6 +11,13 @@ those per-episode judgements into a single plan choice for the session:
   episode wins and take the maximum;
 * episode weights are configurable, e.g. to downweight the initial
   rendering or emphasise the immediate next interactions.
+
+Consolidation is *incremental*: an :class:`IncrementalConsolidator`
+accumulates per-plan scores episode by episode and can report the current
+best plan after every :meth:`~IncrementalConsolidator.add_episode` — the
+adaptive plan policies revise a running session's decision as its
+interaction episodes actually arrive, instead of deciding once up front.
+:func:`consolidate_session` keeps the original one-shot API on top of it.
 """
 
 from __future__ import annotations
@@ -41,12 +48,79 @@ class SessionDecision:
         return list(np.argsort(-scores))
 
 
+class IncrementalConsolidator:
+    """Accumulates per-episode plan judgements into a running decision.
+
+    Episodes arrive one at a time (``add_episode``); after each, the
+    current consolidated decision is available from :meth:`decision`.
+    Scoring matches :func:`consolidate_session` exactly: summed weighted
+    costs when the comparator exposes a cost function, weighted round-
+    robin win counts otherwise.  The score kind is decided by the *first*
+    episode and pinned — a comparator whose cost function appears later
+    cannot retroactively change the accumulated score semantics.
+    """
+
+    def __init__(self, comparator: PlanComparator, n_plans: int) -> None:
+        if n_plans <= 0:
+            raise OptimizationError("consolidation requires at least one plan")
+        self.comparator = comparator
+        self.n_plans = n_plans
+        self.n_episodes = 0
+        self._scores = np.zeros(n_plans, dtype=np.float64)
+        self._score_kind: str | None = None
+
+    # -------------------------------------------------------------- #
+    def add_episode(
+        self, vectors: Sequence[PlanVector], weight: float = 1.0
+    ) -> SessionDecision:
+        """Fold one episode's per-plan vectors in; returns the new decision."""
+        if len(vectors) != self.n_plans:
+            raise OptimizationError(
+                f"episode covers {len(vectors)} plans, consolidator expects {self.n_plans}"
+            )
+        if self._score_kind is None:
+            costs = [self.comparator.cost(v) for v in vectors]
+            self._score_kind = "cost" if all(c is not None for c in costs) else "wins"
+        if self._score_kind == "cost":
+            costs = [self.comparator.cost(v) for v in vectors]
+            if any(c is None for c in costs):
+                raise OptimizationError(
+                    "comparator stopped providing costs mid-consolidation"
+                )
+            self._scores += weight * np.array(costs, dtype=np.float64)
+        else:
+            wins = np.zeros(self.n_plans, dtype=np.float64)
+            for i in range(self.n_plans):
+                for j in range(i + 1, self.n_plans):
+                    if self.comparator.compare(vectors[i], vectors[j]) == 1:
+                        wins[i] += 1
+                    else:
+                        wins[j] += 1
+            self._scores += weight * wins
+        self.n_episodes += 1
+        return self.decision()
+
+    def decision(self) -> SessionDecision:
+        """The consolidated decision over all episodes folded in so far."""
+        if self._score_kind is None:
+            raise OptimizationError("no episodes consolidated yet")
+        if self._score_kind == "cost":
+            best = int(np.argmin(self._scores))
+        else:
+            best = int(np.argmax(self._scores))
+        return SessionDecision(
+            best_plan_index=best,
+            per_plan_score=list(self._scores),
+            score_kind=self._score_kind,
+        )
+
+
 def consolidate_session(
     comparator: PlanComparator,
     episode_vectors: Sequence[Sequence[PlanVector]],
     episode_weights: Sequence[float] | Mapping[int, float] | None = None,
 ) -> SessionDecision:
-    """Pick one plan for a whole session.
+    """Pick one plan for a whole session (one-shot consolidation).
 
     Parameters
     ----------
@@ -63,31 +137,14 @@ def consolidate_session(
     if not episode_vectors:
         raise OptimizationError("consolidation requires at least one episode")
     n_plans = len(episode_vectors[0])
-    if n_plans == 0:
-        raise OptimizationError("consolidation requires at least one plan")
     for episode in episode_vectors:
         if len(episode) != n_plans:
             raise OptimizationError("all episodes must cover the same candidate plans")
-
     weights = _resolve_weights(episode_weights, len(episode_vectors))
-
-    costs = _try_cost_consolidation(comparator, episode_vectors, weights)
-    if costs is not None:
-        best = int(np.argmin(costs))
-        return SessionDecision(best_plan_index=best, per_plan_score=list(costs), score_kind="cost")
-
-    wins = np.zeros(n_plans, dtype=np.float64)
+    consolidator = IncrementalConsolidator(comparator, n_plans)
     for episode, weight in zip(episode_vectors, weights):
-        episode_wins = np.zeros(n_plans, dtype=np.float64)
-        for i in range(n_plans):
-            for j in range(i + 1, n_plans):
-                if comparator.compare(episode[i], episode[j]) == 1:
-                    episode_wins[i] += 1
-                else:
-                    episode_wins[j] += 1
-        wins += weight * episode_wins
-    best = int(np.argmax(wins))
-    return SessionDecision(best_plan_index=best, per_plan_score=list(wins), score_kind="wins")
+        consolidator.add_episode(episode, weight)
+    return consolidator.decision()
 
 
 def _resolve_weights(
@@ -103,23 +160,6 @@ def _resolve_weights(
             f"episode_weights has {len(weights)} entries for {n_episodes} episodes"
         )
     return weights
-
-
-def _try_cost_consolidation(
-    comparator: PlanComparator,
-    episode_vectors: Sequence[Sequence[PlanVector]],
-    weights: Sequence[float],
-) -> np.ndarray | None:
-    """Sum per-episode costs when the comparator exposes a cost function."""
-    n_plans = len(episode_vectors[0])
-    totals = np.zeros(n_plans, dtype=np.float64)
-    for episode, weight in zip(episode_vectors, weights):
-        for index, vector in enumerate(episode):
-            cost = comparator.cost(vector)
-            if cost is None:
-                return None
-            totals[index] += weight * cost
-    return totals
 
 
 def downweight_initial_render(n_episodes: int, factor: float = 0.25) -> list[float]:

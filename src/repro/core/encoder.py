@@ -3,8 +3,10 @@
 A plan vector concatenates, for a fixed list of operator types, (a) the
 count of operators of that type in the plan's dataflow and (b) the sum of
 their output cardinalities.  Cardinalities span orders of magnitude, so
-they are min-max normalised across the candidate set before training /
-comparison.  Structural features are deliberately omitted — the paper
+they are compressed to [0, 1] on an absolute log scale before training /
+comparison (see :func:`normalize_cardinalities` for why the paper's
+min-max-per-candidate-set scaling was replaced).  Structural features are
+deliberately omitted — the paper
 argues the single-threaded, loop-free client runtime makes operator-type
 distribution plus cardinalities sufficient for *pairwise* discrimination.
 
@@ -12,24 +14,38 @@ Two encoding modes are provided:
 
 * *measured* — cardinalities read from an executed dataflow (used to build
   training data, where every candidate plan is executed anyway);
-* *estimated* — cardinalities predicted from the DBMS ``EXPLAIN`` estimates
-  for VDT queries and simple propagation rules for client operators (used
-  at optimization time, when candidate plans must be ranked without being
-  executed).
+* *estimated* — cardinalities predicted from the DBMS ``EXPLAIN``-style
+  statistics (table row counts, per-column distinct counts and ranges,
+  signal-aware filter selectivities) for VDT queries and simple
+  propagation rules for client operators (used at optimization time, when
+  candidate plans must be ranked without being executed).
+
+Estimates are additionally *calibrated* when the encoder is given a
+:class:`~repro.storage.statistics.CardinalityFeedback` store: every VDT
+has a structural shape key (:func:`vdt_shape_key` — table plus its
+literal-stripped transform chain), the serving tier records true VDT
+output cardinalities under that key, and the encoder blends its static
+estimate with the observed value.  Because the key is structural, an
+observation made while executing one plan corrects the estimate of every
+candidate plan offloading the same chain.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.dataflow import Dataflow
 from repro.dataflow.operator import Operator, SourceOperator
+from repro.expr import parse_expression
+from repro.expr.nodes import BinaryNode, IdentifierNode, MemberNode, NumberNode
 from repro.rewrite.rewriter import RewrittenDataflow
 from repro.rewrite.vdt import VegaDBMSTransform
 from repro.backends import SQLBackend
 from repro.sql.engine import Database
+from repro.storage.statistics import CardinalityFeedback, TableStatistics
 
 #: Operator types tracked by the encoder, in feature order.
 FEATURE_OPERATOR_TYPES: tuple[str, ...] = (
@@ -95,27 +111,42 @@ def feature_names() -> list[str]:
     ]
 
 
+#: Cardinality normalisation ceiling: the paper's largest benchmark
+#: tables are 10 M rows, so ``log1p(card) / log1p(1e7)`` lands in [0, 1]
+#: for every realistic cardinality (larger values clamp to 1).
+CARDINALITY_LOG_CAP = 1e7
+
+
+def normalize_cardinality(value: float) -> float:
+    """One cardinality on the absolute log scale (order-preserving)."""
+    if value <= 0.0:
+        return 0.0
+    return float(min(np.log1p(value) / np.log1p(CARDINALITY_LOG_CAP), 1.0))
+
+
 def normalize_cardinalities(vectors: list[PlanVector]) -> list[PlanVector]:
-    """Min-max normalise cardinality features across a candidate set.
+    """Compress cardinality features to [0, 1] on an absolute log scale.
 
     Counts are left untouched (they are already small integers); each
-    operator type's cardinality is scaled to [0, 1] across the vectors.
+    cardinality becomes ``log1p(card) / log1p(1e7)``.  Unlike the
+    earlier per-candidate-set min-max scaling, the mapping is
+    *set-independent*: a vector encodes identically whatever candidates
+    it is grouped with, so (a) a small plan space cannot squash every
+    non-zero cardinality to 1.0 (with three candidates, min-max over
+    {0, small, huge} made "small" and "huge" nearly indistinguishable —
+    fatal for a comparator that must notice a drifted workload), and
+    (b) training pairs collected across episodes, sessions and data
+    sizes stay mutually comparable.  The log tames the orders-of-
+    magnitude spread the paper's min-max normalisation was addressing.
     """
     if not vectors:
         return []
     normalised: list[PlanVector] = []
-    minima: dict[str, float] = {}
-    maxima: dict[str, float] = {}
-    for op_type in FEATURE_OPERATOR_TYPES:
-        values = [v.cardinalities.get(op_type, 0.0) for v in vectors]
-        minima[op_type] = min(values)
-        maxima[op_type] = max(values)
     for vector in vectors:
-        scaled: dict[str, float] = {}
-        for op_type in FEATURE_OPERATOR_TYPES:
-            low, high = minima[op_type], maxima[op_type]
-            value = vector.cardinalities.get(op_type, 0.0)
-            scaled[op_type] = 0.0 if high == low else (value - low) / (high - low)
+        scaled = {
+            op_type: normalize_cardinality(value)
+            for op_type, value in vector.cardinalities.items()
+        }
         normalised.append(
             PlanVector(
                 plan_id=vector.plan_id,
@@ -127,11 +158,55 @@ def normalize_cardinalities(vectors: list[PlanVector]) -> list[PlanVector]:
     return normalised
 
 
-class PlanEncoder:
-    """Encodes rewritten dataflows into :class:`PlanVector` features."""
+#: Default selectivity of a filter whose predicate cannot be analysed.
+_FALLBACK_FILTER_SELECTIVITY = 0.3
 
-    def __init__(self, database: SQLBackend | Database | None = None) -> None:
+
+def vdt_shape_key(table: str, transforms: list[dict]) -> str:
+    """Structural feedback key of a VDT: table + literal-stripped chain.
+
+    Two VDTs offloading the same transform chain over the same table —
+    whether in the same candidate plan or different ones, and regardless
+    of current signal values — share one key, so observed cardinalities
+    generalise across the plan space.
+    """
+    parts = []
+    for definition in transforms:
+        kind = str(definition.get("type", "?"))
+        if kind == "filter":
+            expr = str(definition.get("expr", ""))
+            detail = re.sub(r"\b\d+(\.\d+)?\b", "?", expr)
+        elif kind == "aggregate":
+            detail = ",".join(str(f) for f in definition.get("groupby") or [])
+        else:
+            field_value = definition.get("field")
+            if isinstance(field_value, dict):
+                detail = str(field_value.get("signal", ""))
+            else:
+                detail = str(field_value or "")
+        parts.append(f"{kind}:{detail}" if detail else kind)
+    return f"vdt|{table}|" + ">".join(parts)
+
+
+class PlanEncoder:
+    """Encodes rewritten dataflows into :class:`PlanVector` features.
+
+    Parameters
+    ----------
+    database:
+        Backend whose catalog statistics drive the estimates.
+    feedback:
+        Optional observed-cardinality store; VDT estimates whose shape
+        has live observations are blended towards the observed values.
+    """
+
+    def __init__(
+        self,
+        database: SQLBackend | Database | None = None,
+        feedback: CardinalityFeedback | None = None,
+    ) -> None:
         self._database = database
+        self._feedback = feedback
 
     # ------------------------------------------------------------------ #
     def encode_measured(
@@ -182,21 +257,24 @@ class PlanEncoder:
     def _estimate_cardinalities(self, rewritten: RewrittenDataflow) -> dict[int, float]:
         estimates: dict[int, float] = {}
         dataflow = rewritten.dataflow
+        signals = dataflow.signals.values()
         for operator in dataflow.topological_order():
             upstream = dataflow.upstream_of(operator)
             input_rows = estimates.get(upstream.id, 0.0) if upstream is not None else 0.0
-            estimates[operator.id] = self._estimate_operator(operator, input_rows)
+            estimates[operator.id] = self._estimate_operator(operator, input_rows, signals)
         return estimates
 
-    def _estimate_operator(self, operator: Operator, input_rows: float) -> float:
+    def _estimate_operator(
+        self, operator: Operator, input_rows: float, signals: dict[str, object]
+    ) -> float:
         if isinstance(operator, VegaDBMSTransform):
-            return self._estimate_vdt(operator)
+            return self._estimate_vdt(operator, signals)
         if isinstance(operator, SourceOperator):
             result = operator.evaluate([], {}, _EMPTY_CONTEXT)
             return float(len(result.rows))
         name = operator.name
         if name == "filter":
-            return input_rows * 0.3
+            return input_rows * _FALLBACK_FILTER_SELECTIVITY
         if name == "aggregate":
             groupby = operator.params.get("groupby") or []
             if not groupby:
@@ -206,26 +284,189 @@ class PlanEncoder:
             return input_rows
         return input_rows
 
-    def _estimate_vdt(self, vdt: VegaDBMSTransform) -> float:
+    def _estimate_vdt(self, vdt: VegaDBMSTransform, signals: dict[str, object]) -> float:
         if vdt.value_kind == "extent":
             return 1.0
         database = self._database or vdt.middleware.database
+        statistics: TableStatistics | None = None
         table_rows = 0.0
         if database is not None and database.catalog.has(vdt.table):
-            table_rows = float(database.table_statistics(vdt.table).num_rows)
+            statistics = database.table_statistics(vdt.table)
+            table_rows = float(statistics.num_rows)
         if not vdt.transforms:
-            return table_rows
+            return self._correct(vdt, table_rows)
         rows = table_rows
-        for definition in vdt.transforms:
+        #: Columns produced by earlier transforms in this chain, mapped to
+        #: (origin index, distinct-count bound) — ``bin`` emits two
+        #: perfectly correlated bin-edge columns bounded by ``maxbins``.
+        derived: dict[str, tuple[int, float]] = {}
+        for index, definition in enumerate(vdt.transforms):
             kind = definition.get("type")
             if kind == "filter":
-                rows *= 0.3
+                rows *= _filter_selectivity(
+                    str(definition.get("expr", "")), statistics, signals
+                )
             elif kind == "extent":
                 rows = 1.0
+            elif kind == "bin":
+                maxbins = _resolve_numeric(definition.get("maxbins"), signals) or 20.0
+                for name in definition.get("as") or ("bin0", "bin1"):
+                    derived[str(name)] = (index, float(maxbins))
             elif kind == "aggregate":
-                groupby = definition.get("groupby") or []
-                rows = 1.0 if not groupby else min(rows, 50.0 ** min(len(groupby), 2) * 4)
-        return rows
+                rows = _aggregate_groups(definition, rows, statistics, derived)
+        return self._correct(vdt, rows)
+
+    def _correct(self, vdt: VegaDBMSTransform, estimate: float) -> float:
+        """Blend the static estimate with live observations of this shape."""
+        if self._feedback is None:
+            return estimate
+        return self._feedback.correct(vdt_shape_key(vdt.table, vdt.transforms), estimate)
+
+
+def _resolve_numeric(value: object, signals: dict[str, object]) -> float | None:
+    """A numeric transform parameter, following ``{"signal": name}`` refs."""
+    if isinstance(value, dict):
+        value = signals.get(str(value.get("signal")))
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def _aggregate_groups(
+    definition: dict,
+    input_rows: float,
+    statistics: TableStatistics | None,
+    derived: dict[str, tuple[int, float]] | None = None,
+) -> float:
+    """Estimated group count of a server-side aggregate.
+
+    Uses the per-column distinct counts (independence assumption) when
+    the group keys are plain table columns with statistics, mirroring the
+    engine's EXPLAIN.  Keys produced by an earlier ``bin`` in the chain
+    are bounded by its ``maxbins`` — counted once per originating bin,
+    since bin-edge pairs are perfectly correlated.  Falls back to the
+    fixed fan-out guess when a key is entirely unknown.
+    """
+    groupby = definition.get("groupby") or []
+    if not groupby:
+        return 1.0
+    derived = derived or {}
+    distinct_product = 1.0
+    seen_origins: set[int] = set()
+    from_statistics = True
+    for key in groupby:
+        if isinstance(key, str) and key in derived:
+            origin, distinct = derived[key]
+            if origin not in seen_origins:
+                seen_origins.add(origin)
+                distinct_product *= distinct
+            continue
+        column_stats = (
+            statistics.column(key)
+            if statistics is not None and isinstance(key, str)
+            else None
+        )
+        if column_stats is None or column_stats.num_distinct <= 0:
+            from_statistics = False
+            break
+        distinct_product *= float(column_stats.num_distinct)
+    if not from_statistics:
+        distinct_product = 50.0 ** min(len(groupby), 2) * 4
+    return float(min(max(input_rows, 1.0), distinct_product))
+
+
+def _filter_selectivity(
+    expr: str, statistics: TableStatistics | None, signals: dict[str, object]
+) -> float:
+    """Selectivity of a Vega filter expression from column statistics.
+
+    Understands conjunctions/disjunctions of ``datum.col <op> bound``
+    comparisons where the bound is a number literal or a signal with a
+    numeric *current* value — exactly the shapes crossfilter dashboards
+    emit.  Anything else falls back to the fixed guess.
+    """
+    if statistics is None or not expr:
+        return _FALLBACK_FILTER_SELECTIVITY
+    try:
+        node = parse_expression(expr)
+    except Exception:
+        return _FALLBACK_FILTER_SELECTIVITY
+    selectivity = _node_selectivity(node, statistics, signals)
+    if selectivity is None:
+        return _FALLBACK_FILTER_SELECTIVITY
+    return float(min(max(selectivity, 0.0), 1.0))
+
+
+def _node_selectivity(
+    node: object, statistics: TableStatistics, signals: dict[str, object]
+) -> float | None:
+    if not isinstance(node, BinaryNode):
+        return None
+    if node.op == "&&":
+        left = _node_selectivity(node.left, statistics, signals)
+        right = _node_selectivity(node.right, statistics, signals)
+        if left is None or right is None:
+            return None
+        return left * right
+    if node.op == "||":
+        left = _node_selectivity(node.left, statistics, signals)
+        right = _node_selectivity(node.right, statistics, signals)
+        if left is None or right is None:
+            return None
+        return min(1.0, left + right - left * right)
+    comparison = _comparison_parts(node, signals)
+    if comparison is None:
+        return None
+    column, op, bound = comparison
+    column_stats = statistics.column(column)
+    if column_stats is None:
+        return None
+    if op == "==":
+        return column_stats.selectivity_equals()
+    if op == "!=":
+        return 1.0 - column_stats.selectivity_equals()
+    if op in (">", ">="):
+        return column_stats.selectivity_range(bound, None)
+    return column_stats.selectivity_range(None, bound)
+
+
+def _comparison_parts(
+    node: BinaryNode, signals: dict[str, object]
+) -> tuple[str, str, float] | None:
+    """Extract ``(column, op, numeric bound)`` from a comparison node."""
+    if node.op not in ("<", "<=", ">", ">=", "==", "!="):
+        return None
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+    column = _datum_column(node.left)
+    bound = _numeric_value(node.right, signals)
+    op = node.op
+    if column is None or bound is None:
+        column = _datum_column(node.right)
+        bound = _numeric_value(node.left, signals)
+        op = flipped.get(node.op, node.op)
+    if column is None or bound is None:
+        return None
+    return column, op, bound
+
+
+def _datum_column(node: object) -> str | None:
+    if (
+        isinstance(node, MemberNode)
+        and isinstance(node.obj, IdentifierNode)
+        and node.obj.name == "datum"
+    ):
+        return node.member
+    return None
+
+
+def _numeric_value(node: object, signals: dict[str, object]) -> float | None:
+    if isinstance(node, NumberNode):
+        return float(node.value)
+    if isinstance(node, IdentifierNode):
+        value = signals.get(node.name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    return None
 
 
 class _NullContext:

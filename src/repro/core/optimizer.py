@@ -5,6 +5,12 @@ comparator, the optimizer enumerates candidate plans, encodes them (without
 executing them) using EXPLAIN-style estimates, optionally derives one
 vector per anticipated interaction, and selects the plan the comparator
 predicts to be fastest for the whole session.
+
+The optimizer itself is stateless per decision; *when* it decides — once
+up front, or repeatedly as runtime feedback arrives — is the job of the
+plan policies in :mod:`repro.core.policy`, which call back into
+:meth:`VegaPlusOptimizer.encode_candidates` with the session's live
+signal values and accumulated cardinality feedback.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from repro.core.plan import ExecutionPlan
 from repro.errors import OptimizationError
 from repro.net.middleware import MiddlewareServer
 from repro.rewrite.rewriter import RewrittenDataflow, SpecRewriter
+from repro.storage.statistics import CardinalityFeedback
 from repro.vega.spec import VegaSpec, parse_spec_dict
 
 
@@ -44,11 +51,19 @@ class VegaPlusOptimizer:
     Parameters
     ----------
     spec:
-        The Vega specification (dict or :class:`VegaSpec`).
+        The Vega specification (a raw ``dict`` or a parsed
+        :class:`~repro.vega.spec.VegaSpec`).
     middleware:
-        The middleware server wrapping the backend database.
+        The middleware server (or per-user
+        :class:`~repro.server.session.ClientSession`) wrapping the
+        backend database.
     comparator:
-        A plan comparator; defaults to the training-free heuristic model.
+        A plan comparator; defaults to the training-free
+        :class:`~repro.core.comparators.HeuristicComparator`.
+    feedback:
+        Optional :class:`~repro.storage.statistics.CardinalityFeedback`
+        store of observed result cardinalities; when given, candidate
+        encodings blend EXPLAIN-style estimates with live observations.
     """
 
     def __init__(
@@ -56,13 +71,15 @@ class VegaPlusOptimizer:
         spec: VegaSpec | dict,
         middleware: MiddlewareServer,
         comparator: PlanComparator | None = None,
+        feedback: CardinalityFeedback | None = None,
     ) -> None:
         self.spec = parse_spec_dict(spec) if isinstance(spec, dict) else spec
         self.middleware = middleware
         self.comparator = comparator or HeuristicComparator()
+        self.feedback = feedback
         self.enumerator = PlanEnumerator(self.spec)
         self.rewriter = SpecRewriter(self.spec, middleware)
-        self.encoder = PlanEncoder(middleware.database)
+        self.encoder = PlanEncoder(middleware.database, feedback=feedback)
 
     # ------------------------------------------------------------------ #
     def enumerate_plans(self) -> list[ExecutionPlan]:
@@ -77,6 +94,8 @@ class VegaPlusOptimizer:
         self,
         plans: Sequence[ExecutionPlan],
         anticipated_interactions: Sequence[Mapping[str, object]] | None = None,
+        signal_values: Mapping[str, object] | None = None,
+        normalize: bool | None = None,
     ) -> tuple[list[list[PlanVector]], list[RewrittenDataflow]]:
         """Encode every candidate, optionally once per anticipated interaction.
 
@@ -84,15 +103,31 @@ class VegaPlusOptimizer:
         ``episode_vectors[e][p]`` is plan ``p``'s vector for episode ``e``
         (episode 0 = initial rendering) and ``rewritten[p]`` is the built
         dataflow for plan ``p``.
+
+        ``signal_values`` overrides the spec-default signal state of the
+        built dataflows before encoding — mid-session replans estimate
+        under the signal values the session has actually reached, not the
+        ones it started from.
+
+        ``normalize`` controls whether cardinalities are log-normalised;
+        the default follows the configured comparator's
+        ``wants_normalized`` flag (learned models train on normalised
+        features, rule-based models reason about raw row counts).
         """
         if not plans:
             raise OptimizationError("no candidate plans to encode")
+        if normalize is None:
+            normalize = self.comparator.wants_normalized
+        scale = normalize_cardinalities if normalize else list
         rewritten = [self.build(plan) for plan in plans]
+        if signal_values:
+            for built in rewritten:
+                built.dataflow.set_signal_values(dict(signal_values))
         initial = [
             self.encoder.encode_estimated(r, plan.plan_id, episode=0)
             for plan, r in zip(plans, rewritten)
         ]
-        episodes: list[list[PlanVector]] = [normalize_cardinalities(initial)]
+        episodes: list[list[PlanVector]] = [scale(initial)]
 
         for episode_index, interaction in enumerate(anticipated_interactions or [], start=1):
             episode_vectors: list[PlanVector] = []
@@ -100,7 +135,7 @@ class VegaPlusOptimizer:
                 episode_vectors.append(
                     self._encode_interaction(built, plan, interaction, episode_index)
                 )
-            episodes.append(normalize_cardinalities(episode_vectors))
+            episodes.append(scale(episode_vectors))
         return episodes, rewritten
 
     def choose_plan(

@@ -213,6 +213,23 @@ class Dataflow:
         ordered = [op for op in self.topological_order() if op.id in stale]
         return self._evaluate(ordered)
 
+    def set_signal_values(self, updates: dict[str, object]) -> set[str]:
+        """Set signal values *without* re-evaluating; returns changed names.
+
+        Used when a freshly built dataflow must adopt the signal state of
+        a running session (the adaptive policies rebuild the dataflow for
+        a new plan mid-session) — the following :meth:`run` evaluates
+        everything under the carried-over values.  Unknown signal names
+        are ignored: plans differ in which signals their operators
+        declare.
+        """
+        self._clock += 1
+        return {
+            name
+            for name, value in updates.items()
+            if self.signals.has(name) and self.signals.set(name, value, self._clock)
+        }
+
     def update_signals(self, updates: dict[str, object]) -> EvaluationReport:
         """Update several signals at once (one combined partial re-evaluation)."""
         self._clock += 1

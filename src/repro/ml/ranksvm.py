@@ -5,6 +5,13 @@ label ``y`` (+1 when plan *i* is faster) is fit by minimising the hinge
 loss of ``y * w^T (v_i - v_j)``.  After training, ``Cost(v) = w^T v`` acts
 as a linear cost model, so the best of *n* plans is found with *n* cost
 evaluations instead of ``n(n-1)/2`` pairwise calls.
+
+Two training modes are provided: :meth:`RankSVM.fit` runs the full batch
+protocol (multiple shuffled epochs, convergence check), while
+:meth:`RankSVM.partial_fit` consumes labelled pairs incrementally — one
+sub-gradient pass per call, with the 1/sqrt(t) step decay continuing
+across calls — so the serving tier can keep refining a deployed
+comparator from pairs observed at runtime.
 """
 
 from __future__ import annotations
@@ -46,6 +53,9 @@ class RankSVM:
         self.seed = seed
         self.weights_: np.ndarray | None = None
         self.training_loss_: list[float] = []
+        #: Sub-gradient steps taken so far; persists across ``partial_fit``
+        #: calls so the 1/sqrt(t) learning-rate decay keeps decaying.
+        self._step = 0
 
     # ------------------------------------------------------------------ #
     def fit(self, differences: np.ndarray, labels: np.ndarray) -> "RankSVM":
@@ -55,6 +65,54 @@ class RankSVM:
         should be lower), matching the paper's convention
         ``y = 1 iff latency(v_i) < latency(v_j)``.
         """
+        differences, margins = self._validate_pairs(differences, labels)
+        n_samples, n_features = differences.shape
+        rng = np.random.default_rng(self.seed)
+        self.weights_ = np.zeros(n_features, dtype=np.float64)
+        self.training_loss_ = []
+        self._step = 0
+
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n_samples)
+            epoch_loss = self._sgd_pass(differences[order], margins[order])
+            self.training_loss_.append(epoch_loss / n_samples)
+            if len(self.training_loss_) > 2 and abs(
+                self.training_loss_[-1] - self.training_loss_[-2]
+            ) < 1e-6:
+                break
+        return self
+
+    def partial_fit(self, differences: np.ndarray, labels: np.ndarray) -> "RankSVM":
+        """Update the model with new labelled pairs (online learning).
+
+        Runs one sub-gradient pass over the given pairs in order, carrying
+        the step counter (and therefore the learning-rate decay) across
+        calls.  The first call initialises a zero weight vector, so a
+        comparator can start cold and learn entirely from streamed pairs;
+        calling it after :meth:`fit` refines the batch solution.
+        """
+        differences, margins = self._validate_pairs(differences, labels)
+        if self.weights_ is None:
+            self.weights_ = np.zeros(differences.shape[1], dtype=np.float64)
+        elif differences.shape[1] != self.weights_.shape[0]:
+            raise ModelError(
+                f"partial_fit got {differences.shape[1]} features, "
+                f"model has {self.weights_.shape[0]}"
+            )
+        loss = self._sgd_pass(differences, margins)
+        self.training_loss_.append(loss / len(differences))
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _validate_pairs(
+        self, differences: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Check shapes and convert {0,1} labels to {-1,+1} margins.
+
+        Label 1 means the *first* plan of the pair is faster -> we want
+        ``w^T diff < 0``, i.e. sign = -1 on the margin.  Flipping the sign
+        here keeps ``Cost(v) = w^T v`` oriented so lower cost = faster.
+        """
         differences = np.asarray(differences, dtype=np.float64)
         labels = np.asarray(labels, dtype=np.float64)
         if differences.ndim != 2:
@@ -63,38 +121,24 @@ class RankSVM:
             raise ModelError("differences and labels must have the same length")
         if len(differences) == 0:
             raise ModelError("cannot fit RankSVM on an empty dataset")
-
-        # Convert {0,1} labels to {-1,+1} margins: y=+1 -> first plan faster
-        # -> we want w^T diff < 0, i.e. sign = -1 on the margin.  Flipping the
-        # sign here keeps Cost(v) = w^T v oriented so lower cost = faster.
         margins = np.where(labels >= 0.5, -1.0, 1.0)
+        return differences, margins
 
-        n_samples, n_features = differences.shape
-        rng = np.random.default_rng(self.seed)
-        weights = np.zeros(n_features, dtype=np.float64)
-
-        step = 0
-        for _epoch in range(self.epochs):
-            order = rng.permutation(n_samples)
-            epoch_loss = 0.0
-            for index in order:
-                step += 1
-                learning_rate = self.learning_rate / np.sqrt(step)
-                x = differences[index]
-                y = margins[index]
-                margin = y * float(weights @ x)
-                gradient = self.regularization * weights
-                if margin < 1.0:
-                    gradient = gradient - y * x
-                    epoch_loss += 1.0 - margin
-                weights = weights - learning_rate * gradient
-            self.training_loss_.append(epoch_loss / n_samples)
-            if len(self.training_loss_) > 2 and abs(
-                self.training_loss_[-1] - self.training_loss_[-2]
-            ) < 1e-6:
-                break
+    def _sgd_pass(self, differences: np.ndarray, margins: np.ndarray) -> float:
+        """One sub-gradient pass over ``differences``; returns summed loss."""
+        weights = self.weights_
+        total_loss = 0.0
+        for x, y in zip(differences, margins):
+            self._step += 1
+            learning_rate = self.learning_rate / np.sqrt(self._step)
+            margin = y * float(weights @ x)
+            gradient = self.regularization * weights
+            if margin < 1.0:
+                gradient = gradient - y * x
+                total_loss += 1.0 - margin
+            weights = weights - learning_rate * gradient
         self.weights_ = weights
-        return self
+        return total_loss
 
     # ------------------------------------------------------------------ #
     def cost(self, vectors: np.ndarray) -> np.ndarray:

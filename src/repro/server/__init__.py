@@ -11,7 +11,11 @@ top of the (stateless) :class:`~repro.net.middleware.MiddlewareServer`:
 * :mod:`~repro.server.session` — :class:`SessionManager` /
   :class:`ClientSession`: per-client state (client-side cache, network
   profile, latency history) over the shared middleware, scheduler and
-  backend.
+  backend,
+* :mod:`~repro.server.feedback` — :class:`FeedbackCollector`: observed
+  latencies and true result cardinalities from live traffic, feeding the
+  adaptive plan policies' cardinality calibration and the online
+  comparator trainer (the closed loop of the adaptive optimizer).
 
 Typical assembly::
 
@@ -30,6 +34,7 @@ their concurrency model via
 flag before fanning out a pool.
 """
 
+from repro.server.feedback import FeedbackCollector
 from repro.server.scheduler import (
     RequestScheduler,
     SchedulerStats,
@@ -44,6 +49,7 @@ from repro.server.session import (
 
 __all__ = [
     "ClientSession",
+    "FeedbackCollector",
     "LATENCY_PERCENTILES",
     "RequestScheduler",
     "SchedulerStats",

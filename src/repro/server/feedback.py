@@ -1,0 +1,103 @@
+"""Runtime feedback collection: the serving tier's half of the loop.
+
+The optimizer decides from *estimates*; the serving runtime sees the
+*truth* — how long every request actually took and how many rows it
+actually returned.  A :class:`FeedbackCollector` gathers that truth and
+routes it to the two consumers that close the loop:
+
+* a :class:`~repro.storage.statistics.CardinalityFeedback` store, keyed
+  by query shape (:func:`~repro.sql.explain.query_shape` for raw SQL,
+  :func:`~repro.core.encoder.vdt_shape_key` for VDT operators), which
+  calibrates EXPLAIN-style estimates for the encoder and cost estimator;
+* an optional :class:`~repro.core.comparators.OnlineComparatorTrainer`,
+  which turns per-episode (plan vector, latency) observations into
+  labelled pairs and refines a learned comparator online.
+
+One collector is typically shared by every session of a serving runtime
+(pass it to :class:`~repro.server.session.SessionManager`), so feedback
+from all users compounds.  All entry points are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.comparators import OnlineComparatorTrainer
+from repro.core.encoder import PlanVector
+from repro.sql.explain import query_shape
+from repro.storage.statistics import CardinalityFeedback
+
+
+class FeedbackCollector:
+    """Gathers observed latencies and cardinalities from live traffic.
+
+    Parameters
+    ----------
+    cardinality:
+        The observed-cardinality store estimates are calibrated against
+        (a fresh one by default).
+    trainer:
+        Optional online comparator trainer fed with per-episode
+        observations; omit it to collect cardinality feedback only.
+    """
+
+    def __init__(
+        self,
+        cardinality: CardinalityFeedback | None = None,
+        trainer: OnlineComparatorTrainer | None = None,
+    ) -> None:
+        self.cardinality = cardinality or CardinalityFeedback()
+        self.trainer = trainer
+        self._lock = threading.Lock()
+        self.queries_recorded = 0
+        self.episodes_recorded = 0
+        self.waits_recorded = 0
+        self.total_query_seconds = 0.0
+        self.total_wait_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Entry points, one per serving layer
+    # ------------------------------------------------------------------ #
+    def record_query(self, sql: str, n_rows: int, latency_seconds: float) -> None:
+        """One served SQL request (called by :class:`ClientSession`)."""
+        self.cardinality.observe(query_shape(sql), float(n_rows))
+        with self._lock:
+            self.queries_recorded += 1
+            self.total_query_seconds += float(latency_seconds)
+
+    def record_shape(self, shape_key: str, n_rows: float) -> None:
+        """A pre-keyed cardinality observation (VDT structural shapes)."""
+        self.cardinality.observe(shape_key, float(n_rows))
+
+    def record_wait(self, wait_seconds: float, coalesced: bool) -> None:
+        """One scheduler wait (called by :class:`RequestScheduler`)."""
+        with self._lock:
+            self.waits_recorded += 1
+            self.total_wait_seconds += float(wait_seconds)
+
+    def record_episode(self, vector: PlanVector, latency_seconds: float) -> None:
+        """One executed dashboard episode's measured vector and latency.
+
+        The trainer mutates model weights, so concurrent episode streams
+        from multiple sessions are serialised under the collector's lock.
+        """
+        with self._lock:
+            self.episodes_recorded += 1
+            if self.trainer is not None:
+                self.trainer.observe(vector, latency_seconds)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, object]:
+        """Flat counters for reporting (merged into runtime statistics)."""
+        with self._lock:
+            stats: dict[str, object] = {
+                "queries_recorded": self.queries_recorded,
+                "episodes_recorded": self.episodes_recorded,
+                "waits_recorded": self.waits_recorded,
+                "total_query_seconds": self.total_query_seconds,
+                "total_wait_seconds": self.total_wait_seconds,
+            }
+        stats.update(self.cardinality.snapshot())
+        if self.trainer is not None:
+            stats["trainer"] = self.trainer.snapshot()
+        return stats

@@ -25,7 +25,10 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, TypeVar
+from typing import TYPE_CHECKING, Callable, TypeVar
+
+if TYPE_CHECKING:  # avoids a runtime scheduler ↔ feedback import cycle
+    from repro.server.feedback import FeedbackCollector
 
 T = TypeVar("T")
 
@@ -97,12 +100,22 @@ class RequestScheduler:
         Size of the worker pool — the backend's admission limit.
     name:
         Thread-name prefix, useful in stack dumps.
+    feedback:
+        Optional :class:`~repro.server.feedback.FeedbackCollector`; every
+        completed ``run()`` reports its end-to-end wait so the adaptive
+        tier sees queueing pressure, not just raw execution time.
     """
 
-    def __init__(self, max_workers: int = 4, name: str = "repro-server") -> None:
+    def __init__(
+        self,
+        max_workers: int = 4,
+        name: str = "repro-server",
+        feedback: FeedbackCollector | None = None,
+    ) -> None:
         if max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers
+        self.feedback = feedback
         self.stats = SchedulerStats()
         self._pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix=name)
         self._lock = threading.Lock()
@@ -147,6 +160,8 @@ class RequestScheduler:
         wait = time.perf_counter() - start
         with self._lock:
             self.stats.total_wait_seconds += wait
+        if self.feedback is not None:
+            self.feedback.record_wait(wait, coalesced)
         return SingleFlightOutcome(value=value, coalesced=coalesced, wait_seconds=wait)
 
     def _lead(self, key: str, fn: Callable[[], T], future: Future) -> None:

@@ -35,6 +35,7 @@ from repro.errors import BenchmarkError
 from repro.net.cache import QueryCache
 from repro.net.channel import NetworkModel
 from repro.net.middleware import MiddlewareServer, QueryResponse
+from repro.server.feedback import FeedbackCollector
 from repro.server.scheduler import RequestScheduler
 from repro.sql.engine import Database
 
@@ -69,6 +70,13 @@ class ClientSession:
         Sizing of this client's private result cache.  Client caches
         default to LRU — a dashboard user's working set is recency-
         driven — while the shared server cache keeps the paper's FIFO.
+    feedback:
+        Optional (usually runtime-shared)
+        :class:`~repro.server.feedback.FeedbackCollector`; every served
+        request records its latency and true result cardinality, which
+        calibrates the adaptive optimizer's estimates.  A
+        :class:`~repro.core.system.VegaPlusSystem` built on this session
+        inherits the collector automatically.
     """
 
     def __init__(
@@ -80,10 +88,12 @@ class ClientSession:
         max_cached_result_bytes: int = 2_000_000,
         cache_policy: str = "lru",
         cache_bytes: int | None = None,
+        feedback: FeedbackCollector | None = None,
     ) -> None:
         self.session_id = session_id
         self.middleware = middleware
         self.network = network or middleware.network
+        self.feedback = feedback
         self.cache = QueryCache(
             max_entries=cache_entries,
             max_result_bytes=max_cached_result_bytes,
@@ -119,6 +129,8 @@ class ClientSession:
         )
         self.requests += 1
         self.latencies.append(response.total_seconds)
+        if self.feedback is not None:
+            self.feedback.record_query(sql, len(response.rows), response.total_seconds)
         return response
 
     # ------------------------------------------------------------------ #
@@ -156,6 +168,10 @@ class SessionManager:
         (defaults to the middleware's).
     cache_entries / max_cached_result_bytes / cache_policy / cache_bytes:
         Defaults for the per-session client caches.
+    feedback:
+        Optional runtime-wide :class:`FeedbackCollector` handed to every
+        created session (sessions may still override per-session), so
+        feedback from all users of this runtime compounds in one store.
     """
 
     def __init__(
@@ -166,6 +182,7 @@ class SessionManager:
         max_cached_result_bytes: int = 2_000_000,
         cache_policy: str = "lru",
         cache_bytes: int | None = None,
+        feedback: FeedbackCollector | None = None,
     ) -> None:
         self.middleware = middleware
         self.default_network = default_network or middleware.network
@@ -173,6 +190,7 @@ class SessionManager:
         self.max_cached_result_bytes = max_cached_result_bytes
         self.cache_policy = cache_policy
         self.cache_bytes = cache_bytes
+        self.feedback = feedback
         self._sessions: dict[str, ClientSession] = {}
         self._lock = threading.Lock()
         self._auto_ids = itertools.count()
@@ -185,6 +203,7 @@ class SessionManager:
         max_workers: int = 4,
         network: NetworkModel | None = None,
         scheduler: RequestScheduler | None = None,
+        feedback: FeedbackCollector | None = None,
         **middleware_kwargs: object,
     ) -> "SessionManager":
         """Build a full serving runtime (scheduler + middleware) around
@@ -192,10 +211,12 @@ class SessionManager:
 
         Refuses backends that do not declare thread-safe execution when a
         multi-worker pool is requested — fanning threads over an unsafe
-        backend corrupts results silently.
+        backend corrupts results silently.  A ``feedback`` collector is
+        shared by the scheduler (wait times) and every created session
+        (request latencies and cardinalities).
         """
         if scheduler is None:
-            scheduler = RequestScheduler(max_workers=max_workers)
+            scheduler = RequestScheduler(max_workers=max_workers, feedback=feedback)
         middleware = MiddlewareServer(
             database, network=network, scheduler=scheduler, **middleware_kwargs
         )
@@ -205,7 +226,7 @@ class SessionManager:
                 f"backend {capabilities.name!r} does not declare thread-safe "
                 "execution; use max_workers=1 or a thread-safe backend"
             )
-        return cls(middleware)
+        return cls(middleware, feedback=feedback)
 
     # ------------------------------------------------------------------ #
     def create_session(
@@ -225,6 +246,7 @@ class SessionManager:
                 "max_cached_result_bytes": self.max_cached_result_bytes,
                 "cache_policy": self.cache_policy,
                 "cache_bytes": self.cache_bytes,
+                "feedback": self.feedback,
             }
             defaults.update(session_kwargs)
             session = ClientSession(
@@ -281,6 +303,8 @@ class SessionManager:
         stats["sessions"] = len(sessions)
         stats["requests"] = sum(session.requests for session in sessions.values())
         stats["latency_percentiles"] = latency_percentiles(all_latencies)
+        if self.feedback is not None:
+            stats["feedback"] = self.feedback.snapshot()
         return stats
 
     def shutdown(self) -> None:

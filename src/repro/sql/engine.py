@@ -15,7 +15,8 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.sql.executor import ExecutionStats, Executor
-from repro.sql.explain import CostEstimator, QueryCostEstimate
+from repro.sql.explain import CostEstimator, QueryCostEstimate, query_shape
+from repro.storage.statistics import CardinalityFeedback
 from repro.sql.optimizer import optimize_plan
 from repro.sql.parser import parse_sql
 from repro.sql.planner import LogicalPlan, build_logical_plan
@@ -260,10 +261,19 @@ class Database:
         with self._plan_cache_lock:
             self._plan_cache.clear()
 
-    def explain(self, sql: str) -> QueryCostEstimate:
-        """Return the cost estimate the engine's EXPLAIN would produce."""
-        plan = self.plan(sql.removeprefix("EXPLAIN ").removeprefix("explain "))
-        return CostEstimator(self._catalog).estimate(plan)
+    def explain(
+        self, sql: str, feedback: CardinalityFeedback | None = None
+    ) -> QueryCostEstimate:
+        """Return the cost estimate the engine's EXPLAIN would produce.
+
+        ``feedback`` (observed cardinalities from the serving tier)
+        calibrates the root cardinality for queries whose literal-stripped
+        shape has been executed before.
+        """
+        text = sql.removeprefix("EXPLAIN ").removeprefix("explain ")
+        plan = self.plan(text)
+        shape = query_shape(text) if feedback is not None else None
+        return CostEstimator(self._catalog, feedback=feedback).estimate(plan, shape_key=shape)
 
     def execute(self, sql: str) -> QueryResult:
         """Execute ``sql`` and return a :class:`QueryResult`.

@@ -5,10 +5,20 @@ query costs (Section 3 of the paper).  Our SQL engine computes simple
 statistics per table — row counts, distinct-value estimates, min/max, null
 counts — which the :mod:`repro.sql.explain` module combines into
 cardinality and cost estimates.
+
+Static statistics drift: selectivity heuristics assume uniformity, group
+counts assume independence, and the data itself may change under a live
+session.  :class:`CardinalityFeedback` is the correction layer: the
+serving tier records *observed* result cardinalities keyed by query shape
+(literals stripped, so one key covers a whole crossfilter family), and
+estimators blend their static estimate with the exponentially-weighted
+observed value, weighting the observation by how often the shape has
+actually been seen.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,6 +76,92 @@ class TableStatistics:
     def column(self, name: str) -> ColumnStatistics | None:
         """Statistics for ``name`` or ``None`` when unknown."""
         return self.columns.get(name)
+
+
+@dataclass
+class _ShapeObservation:
+    """Running EWMA of observed cardinalities for one query shape."""
+
+    ewma_rows: float = 0.0
+    observations: int = 0
+
+
+class CardinalityFeedback:
+    """Observed-cardinality corrections for EXPLAIN-style estimates.
+
+    Thread-safe: the serving runtime records observations from many
+    sessions while the optimizer reads corrections mid-replan.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing weight of the *newest* observation — high values
+        track drifting workloads quickly, low values smooth noise.
+    confidence:
+        Number of observations after which the blend weights the observed
+        EWMA and the static estimate equally (``w = n / (n + confidence)``);
+        a shape seen many times is trusted almost entirely.
+    """
+
+    def __init__(self, alpha: float = 0.5, confidence: float = 2.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if confidence <= 0:
+            raise ValueError("confidence must be positive")
+        self.alpha = alpha
+        self.confidence = confidence
+        self._shapes: dict[str, _ShapeObservation] = {}
+        self._lock = threading.Lock()
+
+    # -------------------------------------------------------------- #
+    def observe(self, shape_key: str, actual_rows: float) -> None:
+        """Record one observed result cardinality for ``shape_key``."""
+        rows = max(float(actual_rows), 0.0)
+        with self._lock:
+            entry = self._shapes.get(shape_key)
+            if entry is None:
+                self._shapes[shape_key] = _ShapeObservation(rows, 1)
+                return
+            entry.ewma_rows = self.alpha * rows + (1.0 - self.alpha) * entry.ewma_rows
+            entry.observations += 1
+
+    def correct(self, shape_key: str, estimated_rows: float) -> float:
+        """Blend a static estimate with the observed EWMA for this shape.
+
+        Unobserved shapes return the estimate unchanged; observed shapes
+        return ``(1 - w) * estimate + w * ewma`` with
+        ``w = n / (n + confidence)``.
+        """
+        with self._lock:
+            entry = self._shapes.get(shape_key)
+            if entry is None:
+                return estimated_rows
+            weight = entry.observations / (entry.observations + self.confidence)
+            return (1.0 - weight) * estimated_rows + weight * entry.ewma_rows
+
+    def observed_rows(self, shape_key: str) -> float | None:
+        """The current EWMA for a shape, or ``None`` when never observed."""
+        with self._lock:
+            entry = self._shapes.get(shape_key)
+            return None if entry is None else entry.ewma_rows
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._shapes)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat counters for reporting."""
+        with self._lock:
+            observations = sum(e.observations for e in self._shapes.values())
+            return {
+                "shapes_tracked": float(len(self._shapes)),
+                "observations": float(observations),
+            }
+
+    def clear(self) -> None:
+        """Forget all observations (between benchmark scenarios)."""
+        with self._lock:
+            self._shapes.clear()
 
 
 def compute_column_statistics(column: Column, sample_limit: int = 100_000) -> ColumnStatistics:

@@ -142,14 +142,24 @@ def test_plan_vector_array_layout():
     assert vector.vdt_cardinality == 100.0
 
 
-def test_normalize_cardinalities_scales_to_unit_interval():
+def test_normalize_cardinalities_log_scale():
     vectors = [
         PlanVector(plan_id=0, cardinalities={"vdt": 0.0}),
         PlanVector(plan_id=1, cardinalities={"vdt": 50.0}),
         PlanVector(plan_id=2, cardinalities={"vdt": 100.0}),
+        PlanVector(plan_id=3, cardinalities={"vdt": 1e7}),
+        PlanVector(plan_id=4, cardinalities={"vdt": 1e9}),
     ]
-    scaled = normalize_cardinalities(vectors)
-    assert [v.cardinalities["vdt"] for v in scaled] == [0.0, 0.5, 1.0]
+    scaled = [v.cardinalities["vdt"] for v in normalize_cardinalities(vectors)]
+    # Zero stays zero, larger cardinalities map to strictly larger values,
+    # everything lands in [0, 1] and the cap clamps.
+    assert scaled[0] == 0.0
+    assert scaled[0] < scaled[1] < scaled[2] < scaled[3]
+    assert all(0.0 <= value <= 1.0 for value in scaled)
+    assert scaled[4] == 1.0
+    # Set-independence: a vector encodes the same alone as in a group.
+    alone = normalize_cardinalities([vectors[1]])[0]
+    assert alone.cardinalities["vdt"] == scaled[1]
     assert normalize_cardinalities([]) == []
 
 

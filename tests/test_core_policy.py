@@ -1,0 +1,264 @@
+"""Tests for plan policies, incremental consolidation and the closed loop."""
+
+import numpy as np
+import pytest
+
+from repro.backends import create_backend
+from repro.bench.adaptive import adaptive_dashboard_spec, make_event_rows
+from repro.core import (
+    AdaptivePolicy,
+    HeuristicComparator,
+    IncrementalConsolidator,
+    PlanVector,
+    RankSVMComparator,
+    StaticPolicy,
+    VegaPlusSystem,
+    consolidate_session,
+)
+from repro.core.encoder import FEATURE_OPERATOR_TYPES, feature_names
+from repro.errors import OptimizationError
+from repro.ml import RankSVM
+from repro.net.channel import NetworkModel
+
+
+# --------------------------------------------------------------------------- #
+# IncrementalConsolidator
+# --------------------------------------------------------------------------- #
+
+
+def _vectors(cards):
+    return [
+        PlanVector(plan_id=i, counts={"vdt": 1.0}, cardinalities={"vdt": c})
+        for i, c in enumerate(cards)
+    ]
+
+
+def _cost_comparator():
+    """A fitted RankSVM whose cost is exactly the vdt cardinality."""
+    model = RankSVM()
+    weights = np.zeros(2 * len(FEATURE_OPERATOR_TYPES))
+    weights[len(FEATURE_OPERATOR_TYPES) + FEATURE_OPERATOR_TYPES.index("vdt")] = 1.0
+    model.weights_ = weights
+    return RankSVMComparator(model)
+
+
+def test_incremental_matches_one_shot_cost_kind():
+    comparator = _cost_comparator()
+    episodes = [_vectors([5.0, 1.0, 3.0]), _vectors([2.0, 4.0, 1.0])]
+    one_shot = consolidate_session(comparator, episodes)
+    incremental = IncrementalConsolidator(comparator, 3)
+    for episode in episodes:
+        decision = incremental.add_episode(episode)
+    assert decision.best_plan_index == one_shot.best_plan_index
+    assert decision.score_kind == one_shot.score_kind == "cost"
+    assert np.allclose(decision.per_plan_score, one_shot.per_plan_score)
+
+
+def test_incremental_matches_one_shot_wins_kind():
+    comparator = HeuristicComparator()
+    episodes = [_vectors([50.0, 1.0, 30.0]), _vectors([40.0, 2.0, 20.0])]
+    one_shot = consolidate_session(comparator, episodes, episode_weights=[1.0, 2.0])
+    incremental = IncrementalConsolidator(comparator, 3)
+    incremental.add_episode(episodes[0], weight=1.0)
+    incremental.add_episode(episodes[1], weight=2.0)
+    decision = incremental.decision()
+    assert decision.best_plan_index == one_shot.best_plan_index
+    assert decision.score_kind == one_shot.score_kind == "wins"
+    assert np.allclose(decision.per_plan_score, one_shot.per_plan_score)
+
+
+def test_incremental_decision_revisable_as_episodes_arrive():
+    comparator = _cost_comparator()
+    incremental = IncrementalConsolidator(comparator, 2)
+    first = incremental.add_episode(_vectors([1.0, 10.0]))
+    assert first.best_plan_index == 0
+    # Overwhelming later evidence flips the running decision.
+    flipped = incremental.add_episode(_vectors([100.0, 1.0]))
+    assert flipped.best_plan_index == 1
+
+
+def test_incremental_consolidator_guards():
+    comparator = HeuristicComparator()
+    with pytest.raises(OptimizationError):
+        IncrementalConsolidator(comparator, 0)
+    incremental = IncrementalConsolidator(comparator, 2)
+    with pytest.raises(OptimizationError):
+        incremental.decision()
+    with pytest.raises(OptimizationError):
+        incremental.add_episode(_vectors([1.0, 2.0, 3.0]))
+
+
+# --------------------------------------------------------------------------- #
+# Policies on a live system
+# --------------------------------------------------------------------------- #
+
+#: Slow link so plan choice dominates latency (see bench/adaptive.py).
+_NETWORK = NetworkModel(rtt_seconds=0.004, bandwidth_bytes_per_second=400_000.0)
+
+
+def _latency_shaped_comparator():
+    """Hand-built linear cost shaped like the bench latency landscape:
+    transfers (vdt cardinality) are expensive, client operators carry a
+    noticeable per-operator cost, client cardinalities a mild one."""
+    model = RankSVM()
+    weights = np.zeros(2 * len(FEATURE_OPERATOR_TYPES))
+    names = feature_names()
+    shaped = {
+        "count_vdt": 0.3,
+        "cardinality_vdt": 2.0,
+        "count_filter": 0.3,
+        "count_aggregate": 0.4,
+        "count_collect": 0.1,
+        "cardinality_filter": 0.3,
+        "cardinality_aggregate": 0.3,
+    }
+    for name, value in shaped.items():
+        weights[names.index(name)] = value
+    model.weights_ = weights
+    return RankSVMComparator(model)
+
+
+@pytest.fixture()
+def adaptive_backend():
+    backend = create_backend("embedded", keep_query_log=False)
+    backend.register_rows("events", make_event_rows(2_000, 600, seed=3))
+    yield backend
+    backend.close()
+
+
+def _make_system(backend, policy):
+    return VegaPlusSystem(
+        adaptive_dashboard_spec("events"),
+        backend,
+        comparator=_latency_shaped_comparator(),
+        network=_NETWORK,
+        enable_cache=False,
+        policy=policy,
+    )
+
+
+SELECTIVE = [{"threshold": 990 + i} for i in range(4)]
+UNSELECTIVE = [{"threshold": 60 + 3 * i} for i in range(6)]
+
+
+def test_static_policy_never_replans(adaptive_backend):
+    system = _make_system(adaptive_backend, StaticPolicy())
+    system.optimize(anticipated_interactions=SELECTIVE)
+    initial_plan = system.plan
+    system.initialize()
+    for interaction in SELECTIVE + UNSELECTIVE:
+        system.interact(interaction)
+    assert system.plan == initial_plan
+    assert system.replans == 0
+    counters = system.policy.counters()
+    assert counters["policy"] == "static"
+    assert counters["episodes_observed"] == len(SELECTIVE) + len(UNSELECTIVE)
+
+
+def test_adaptive_policy_replans_on_drift_and_preserves_results(adaptive_backend):
+    # Caches are off in this fixture, so there are no free episodes to
+    # guard against and the floor stays at zero.
+    policy = AdaptivePolicy(
+        regret_threshold=0.5,
+        patience=1,
+        cooldown=0,
+        replan_window=3,
+        horizon=10,
+    )
+    system = _make_system(adaptive_backend, policy)
+    system.optimize(anticipated_interactions=SELECTIVE)
+    initial_plan = system.plan
+    # The shaped cost model offloads while transfers are cheap.
+    assert not initial_plan.is_all_client()
+    system.initialize()
+    for interaction in SELECTIVE:
+        system.interact(interaction)
+    assert system.replans == 0  # stationary prefix: nothing to correct
+
+    for interaction in UNSELECTIVE:
+        system.interact(interaction)
+    assert policy.replan_events, "drift never triggered a replan"
+    assert system.replans >= 1
+    assert system.plan != initial_plan
+    kinds = [result.kind for result in system.history]
+    assert "replan" in kinds
+
+    # Adapting must not change results: a static run of the same session
+    # ends on identical rows (order-insensitive, float-tolerant).
+    baseline = _make_system(adaptive_backend, StaticPolicy())
+    baseline.optimize(anticipated_interactions=SELECTIVE)
+    baseline.initialize()
+    for interaction in SELECTIVE + UNSELECTIVE:
+        baseline.interact(interaction)
+
+    def canonical(rows):
+        out = []
+        for row in rows:
+            out.append(tuple(
+                (k, round(v, 6) if isinstance(v, float) else v)
+                for k, v in sorted(row.items())
+            ))
+        return sorted(out)
+
+    assert canonical(system.dataset("summary")) == canonical(baseline.dataset("summary"))
+
+
+def test_adaptive_policy_observe_requires_begin():
+    policy = AdaptivePolicy()
+    with pytest.raises(OptimizationError):
+        policy.observe(PlanVector(plan_id=0), 0.1)
+
+
+def test_adaptive_policy_parameter_guards():
+    with pytest.raises(OptimizationError):
+        AdaptivePolicy(regret_threshold=0.0)
+    with pytest.raises(OptimizationError):
+        AdaptivePolicy(patience=0)
+    with pytest.raises(OptimizationError):
+        AdaptivePolicy(calibration_alpha=0.0)
+    with pytest.raises(OptimizationError):
+        AdaptivePolicy(replan_window=0)
+
+
+def test_max_replans_caps_switching(adaptive_backend):
+    policy = AdaptivePolicy(
+        regret_threshold=0.2,
+        patience=1,
+        cooldown=0,
+        min_divergence_seconds=0.0,
+        max_replans=0,
+    )
+    system = _make_system(adaptive_backend, policy)
+    system.optimize(anticipated_interactions=SELECTIVE)
+    system.initialize()
+    for interaction in SELECTIVE + UNSELECTIVE:
+        system.interact(interaction)
+    assert system.replans == 0
+    assert policy.replan_events == []
+
+
+def test_use_plan_bypasses_policy(adaptive_backend):
+    """Forced plans (baseline runs) must execute exactly as requested."""
+    policy = AdaptivePolicy(regret_threshold=0.2, patience=1, cooldown=0)
+    system = _make_system(adaptive_backend, policy)
+    plans = system.optimizer.enumerate_plans()
+    forced = plans[-1]
+    system.use_plan(forced)
+    system.initialize()
+    for interaction in UNSELECTIVE:
+        system.interact(interaction)
+    assert system.plan == forced
+    assert system.replans == 0
+
+
+def test_system_stats_merges_subsystems(adaptive_backend):
+    system = _make_system(adaptive_backend, StaticPolicy())
+    system.optimize()
+    system.initialize()
+    stats = system.stats()
+    assert stats["policy"]["policy"] == "static"
+    assert "queries_executed" in stats["engine"]
+    assert "server_hit_rate" in stats["cache"]
+    assert stats["episodes"] == 1
+    assert stats["replans"] == 0
+    assert stats["session_seconds"] > 0

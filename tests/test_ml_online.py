@@ -1,0 +1,182 @@
+"""Edge cases for ml preprocessing/metrics and online RankSVM training."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OnlineComparatorTrainer, PlanVector
+from repro.errors import ModelError
+from repro.ml import MinMaxScaler, RankSVM, accuracy_score, confusion_counts, train_test_split
+
+
+# --------------------------------------------------------------------------- #
+# Preprocessing edges
+# --------------------------------------------------------------------------- #
+
+
+def test_train_test_split_single_sample_keeps_it_in_train():
+    features = np.array([[1.0, 2.0]])
+    labels = np.array([1])
+    x_train, x_test, y_train, y_test = train_test_split(features, labels)
+    assert len(x_train) == 1 and len(y_train) == 1
+    assert len(x_test) == 0 and len(y_test) == 0
+
+
+def test_train_test_split_two_samples_never_empties_either_side():
+    features = np.arange(4.0).reshape(2, 2)
+    labels = np.array([0, 1])
+    x_train, x_test, _, _ = train_test_split(features, labels, test_fraction=0.9)
+    assert len(x_train) == 1 and len(x_test) == 1
+
+
+def test_train_test_split_guards():
+    features = np.arange(4.0).reshape(2, 2)
+    with pytest.raises(ModelError):
+        train_test_split(features, np.array([1]))
+    with pytest.raises(ModelError):
+        train_test_split(features, np.array([0, 1]), test_fraction=0.0)
+    with pytest.raises(ModelError):
+        train_test_split(features, np.array([0, 1]), test_fraction=1.0)
+
+
+def test_minmax_scaler_constant_and_nan_features():
+    scaler = MinMaxScaler()
+    features = np.array([[1.0, np.nan, 5.0], [1.0, 2.0, 10.0]])
+    scaled = scaler.fit_transform(features)
+    # Constant features map to 0 (not NaN/inf) ...
+    assert np.all(scaled[:, 0] == 0.0)
+    # ... NaN inputs propagate as NaN rather than crashing ...
+    assert np.isnan(scaled[0, 1])
+    # ... and regular features land in [0, 1].
+    assert scaled[0, 2] == 0.0 and scaled[1, 2] == 1.0
+
+
+def test_minmax_scaler_requires_fit_and_2d():
+    scaler = MinMaxScaler()
+    with pytest.raises(ModelError):
+        scaler.transform(np.zeros((1, 2)))
+    with pytest.raises(ModelError):
+        scaler.fit(np.zeros(3))
+
+
+# --------------------------------------------------------------------------- #
+# Metrics edges
+# --------------------------------------------------------------------------- #
+
+
+def test_accuracy_score_edges():
+    assert accuracy_score(np.array([]), np.array([])) == 0.0
+    ones = np.ones(5)
+    assert accuracy_score(ones, ones) == 1.0  # single-class stream
+    assert accuracy_score(ones, np.zeros(5)) == 0.0
+    with pytest.raises(ModelError):
+        accuracy_score(np.array([1]), np.array([1, 0]))
+
+
+def test_confusion_counts_single_class():
+    y = np.ones(4)
+    counts = confusion_counts(y, y)
+    assert counts == {
+        "true_positive": 4,
+        "true_negative": 0,
+        "false_positive": 0,
+        "false_negative": 0,
+    }
+    with pytest.raises(ModelError):
+        confusion_counts(np.array([1]), np.array([1, 0]))
+
+
+# --------------------------------------------------------------------------- #
+# RankSVM.partial_fit
+# --------------------------------------------------------------------------- #
+
+
+def _separable_pairs(n_pairs, n_features, seed):
+    """Difference vectors labelled by a hidden linear cost with margin."""
+    rng = np.random.default_rng(seed)
+    true_weights = rng.normal(size=n_features)
+    true_weights /= np.linalg.norm(true_weights)
+    differences = []
+    while len(differences) < n_pairs:
+        candidate = rng.normal(size=n_features)
+        if abs(candidate @ true_weights) > 0.3:  # enforce a margin
+            differences.append(candidate)
+    differences = np.array(differences)
+    scores = differences @ true_weights
+    labels = (scores < 0).astype(int)  # first plan faster when cost diff < 0
+    return differences, labels
+
+
+def test_partial_fit_initialises_cold_and_checks_dimensions():
+    model = RankSVM()
+    differences, labels = _separable_pairs(10, 4, seed=0)
+    model.partial_fit(differences, labels)
+    assert model.weights_ is not None and model.weights_.shape == (4,)
+    with pytest.raises(ModelError):
+        model.partial_fit(np.zeros((2, 7)), np.zeros(2))
+    with pytest.raises(ModelError):
+        model.partial_fit(np.zeros((0, 4)), np.zeros(0))
+
+
+def test_partial_fit_learning_rate_decays_across_calls():
+    model = RankSVM()
+    differences, labels = _separable_pairs(8, 3, seed=1)
+    model.partial_fit(differences, labels)
+    step_after_first = model._step
+    model.partial_fit(differences, labels)
+    assert model._step == step_after_first + len(differences)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_partial_fit_stream_converges_to_batch_accuracy(seed):
+    """Streaming the pairs through partial_fit reaches (near-)batch accuracy."""
+    differences, labels = _separable_pairs(60, 6, seed=seed)
+
+    batch = RankSVM(seed=seed).fit(differences, labels)
+    batch_accuracy = accuracy_score(labels, batch.predict(differences))
+
+    online = RankSVM(seed=seed)
+    chunks = np.array_split(np.arange(len(labels)), 6)
+    for _epoch in range(40):
+        for chunk in chunks:
+            online.partial_fit(differences[chunk], labels[chunk])
+    online_accuracy = accuracy_score(labels, online.predict(differences))
+
+    assert batch_accuracy >= 0.9  # sanity: the data is separable
+    assert online_accuracy >= batch_accuracy - 0.1
+
+
+# --------------------------------------------------------------------------- #
+# OnlineComparatorTrainer
+# --------------------------------------------------------------------------- #
+
+
+def _observation(plan_id, cardinality):
+    return PlanVector(
+        plan_id=plan_id, counts={"vdt": 1.0}, cardinalities={"vdt": cardinality}
+    )
+
+
+def test_online_trainer_learns_cardinality_cost():
+    trainer = OnlineComparatorTrainer(window=16)
+    rng = np.random.default_rng(0)
+    for i in range(80):
+        cardinality = float(rng.uniform(1, 10_000))
+        trainer.observe(_observation(i, cardinality), latency_seconds=cardinality * 1e-4)
+    assert trainer.observations == 80
+    assert trainer.pairs_trained > 0
+    assert trainer.recent_accuracy() > 0.7  # bigger transfer == slower, learned online
+    snapshot = trainer.snapshot()
+    assert snapshot["observations"] == 80.0
+    assert snapshot["updates"] > 0
+
+
+def test_online_trainer_skips_near_ties():
+    trainer = OnlineComparatorTrainer(window=8, min_relative_gap=0.5)
+    trainer.observe(_observation(0, 100.0), latency_seconds=0.100)
+    trainer.observe(_observation(1, 105.0), latency_seconds=0.101)  # near-tie
+    assert trainer.pairs_trained == 0
+    trainer.observe(_observation(2, 5_000.0), latency_seconds=0.5)
+    assert trainer.pairs_trained == 2

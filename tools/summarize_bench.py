@@ -23,6 +23,12 @@ put ``extra_info["latency_percentiles"] = {"p50": ..., "p95": ...,
 "p99": ...}``) get those lifted to a top-level ``latency_percentiles``
 entry, alongside ``coalescing_rate`` when present, so the trend summary
 carries tail-latency data without digging through ``extra_info``.
+
+The adaptive-policy benchmarks (``bench_fig11_adaptive.py``) similarly
+get ``policy`` (per-policy percentiles and plan ids), ``regret``
+(replan counters and the static/adaptive p95 speedup) and
+``accuracy_over_time`` (the online comparator's prequential pairwise
+accuracy curve) lifted to top-level entries.
 """
 
 from __future__ import annotations
@@ -73,6 +79,13 @@ def summarize(raw_paths: list[Path]) -> dict:
                 }
             if "coalescing_rate" in extra:
                 entry["coalescing_rate"] = round(float(extra["coalescing_rate"]), 4)
+            if isinstance(extra.get("policy"), dict):
+                entry["policy"] = extra["policy"]
+            if isinstance(extra.get("regret"), dict):
+                entry["regret"] = extra["regret"]
+            accuracy = extra.get("accuracy_over_time")
+            if isinstance(accuracy, list):
+                entry["accuracy_over_time"] = [round(float(v), 4) for v in accuracy]
             experiments[key] = entry
     return {
         "schema": "bench-summary/v1",
