@@ -81,6 +81,11 @@ class BackendCapabilities:
     #: instance with internal locking), ``"per-thread"`` (a dedicated
     #: connection per worker thread over shared storage), or ``"none"``.
     connection_strategy: str = "none"
+    #: Whether the backend supports horizontal table partitioning with
+    #: zone-map pruning and morsel-parallel execution (``repartition``).
+    #: The scale benchmarks and the serving tier consult this before
+    #: asking a backend to partition a table.
+    partitioning: bool = False
 
     # -------------------------------------------------------------- #
     # Clauses the SQL generator derives from the flags

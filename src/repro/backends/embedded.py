@@ -30,6 +30,7 @@ EMBEDDED_CAPABILITIES = BackendCapabilities(
     default_window_frame_is_rows=True,
     thread_safe=True,
     connection_strategy="shared",
+    partitioning=True,
 )
 
 
@@ -81,6 +82,14 @@ class EmbeddedBackend(SQLBackend):
         """Register a table created from a column mapping."""
         self.database.register_columns(name, data, replace=replace)
 
+    def repartition(self, name: str, target_rows: int) -> None:
+        """Split a registered table into row-range partitions.
+
+        Subsequent queries over the table run morsel-parallel with
+        zone-map pruning (see :mod:`repro.storage.table`).
+        """
+        self.database.repartition(name, target_rows)
+
     def drop_table(self, name: str) -> None:
         self.database.drop_table(name)
 
@@ -104,3 +113,6 @@ class EmbeddedBackend(SQLBackend):
 
     def clear_plan_cache(self) -> None:
         self.database.clear_plan_cache()
+
+    def close(self) -> None:
+        self.database.close()

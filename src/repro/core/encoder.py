@@ -45,7 +45,12 @@ from repro.rewrite.rewriter import RewrittenDataflow
 from repro.rewrite.vdt import VegaDBMSTransform
 from repro.backends import SQLBackend
 from repro.sql.engine import Database
-from repro.storage.statistics import CardinalityFeedback, TableStatistics
+from repro.storage.statistics import (
+    CardinalityFeedback,
+    TableStatistics,
+    ZoneMap,
+    zone_maps_range_rows,
+)
 
 #: Operator types tracked by the encoder, in feature order.
 FEATURE_OPERATOR_TYPES: tuple[str, ...] = (
@@ -289,10 +294,12 @@ class PlanEncoder:
             return 1.0
         database = self._database or vdt.middleware.database
         statistics: TableStatistics | None = None
+        zone_maps: list[ZoneMap] | None = None
         table_rows = 0.0
         if database is not None and database.catalog.has(vdt.table):
             statistics = database.table_statistics(vdt.table)
             table_rows = float(statistics.num_rows)
+            zone_maps = database.catalog.zone_maps(vdt.table)
         if not vdt.transforms:
             return self._correct(vdt, table_rows)
         rows = table_rows
@@ -304,7 +311,7 @@ class PlanEncoder:
             kind = definition.get("type")
             if kind == "filter":
                 rows *= _filter_selectivity(
-                    str(definition.get("expr", "")), statistics, signals
+                    str(definition.get("expr", "")), statistics, signals, zone_maps
                 )
             elif kind == "extent":
                 rows = 1.0
@@ -376,7 +383,10 @@ def _aggregate_groups(
 
 
 def _filter_selectivity(
-    expr: str, statistics: TableStatistics | None, signals: dict[str, object]
+    expr: str,
+    statistics: TableStatistics | None,
+    signals: dict[str, object],
+    zone_maps: list[ZoneMap] | None = None,
 ) -> float:
     """Selectivity of a Vega filter expression from column statistics.
 
@@ -384,6 +394,13 @@ def _filter_selectivity(
     comparisons where the bound is a number literal or a signal with a
     numeric *current* value — exactly the shapes crossfilter dashboards
     emit.  Anything else falls back to the fixed guess.
+
+    When the table is partitioned, range selectivities are summed from
+    the per-partition zone maps instead of whole-table uniformity:
+    partitions whose zones exclude the range contribute zero rows, so
+    the estimate reflects exactly the pruning the executor will do —
+    and within kept partitions the zone's own (tighter) span replaces
+    the global one, which matters for clustered data.
     """
     if statistics is None or not expr:
         return _FALLBACK_FILTER_SELECTIVITY
@@ -391,26 +408,29 @@ def _filter_selectivity(
         node = parse_expression(expr)
     except Exception:
         return _FALLBACK_FILTER_SELECTIVITY
-    selectivity = _node_selectivity(node, statistics, signals)
+    selectivity = _node_selectivity(node, statistics, signals, zone_maps)
     if selectivity is None:
         return _FALLBACK_FILTER_SELECTIVITY
     return float(min(max(selectivity, 0.0), 1.0))
 
 
 def _node_selectivity(
-    node: object, statistics: TableStatistics, signals: dict[str, object]
+    node: object,
+    statistics: TableStatistics,
+    signals: dict[str, object],
+    zone_maps: list[ZoneMap] | None = None,
 ) -> float | None:
     if not isinstance(node, BinaryNode):
         return None
     if node.op == "&&":
-        left = _node_selectivity(node.left, statistics, signals)
-        right = _node_selectivity(node.right, statistics, signals)
+        left = _node_selectivity(node.left, statistics, signals, zone_maps)
+        right = _node_selectivity(node.right, statistics, signals, zone_maps)
         if left is None or right is None:
             return None
         return left * right
     if node.op == "||":
-        left = _node_selectivity(node.left, statistics, signals)
-        right = _node_selectivity(node.right, statistics, signals)
+        left = _node_selectivity(node.left, statistics, signals, zone_maps)
+        right = _node_selectivity(node.right, statistics, signals, zone_maps)
         if left is None or right is None:
             return None
         return min(1.0, left + right - left * right)
@@ -418,6 +438,11 @@ def _node_selectivity(
     if comparison is None:
         return None
     column, op, bound = comparison
+    if op in (">", ">=", "<", "<="):
+        low, high = (bound, None) if op in (">", ">=") else (None, bound)
+        zoned = _zone_map_selectivity(zone_maps, statistics, column, low, high)
+        if zoned is not None:
+            return zoned
     column_stats = statistics.column(column)
     if column_stats is None:
         return None
@@ -428,6 +453,22 @@ def _node_selectivity(
     if op in (">", ">="):
         return column_stats.selectivity_range(bound, None)
     return column_stats.selectivity_range(None, bound)
+
+
+def _zone_map_selectivity(
+    zone_maps: list[ZoneMap] | None,
+    statistics: TableStatistics,
+    column: str,
+    low: float | None,
+    high: float | None,
+) -> float | None:
+    """Range selectivity summed over per-partition zone maps, if any."""
+    if not zone_maps or statistics.num_rows <= 0:
+        return None
+    rows = zone_maps_range_rows(zone_maps, column, low, high)
+    if rows is None:
+        return None
+    return min(1.0, rows / float(statistics.num_rows))
 
 
 def _comparison_parts(

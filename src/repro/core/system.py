@@ -326,18 +326,32 @@ class VegaPlusSystem:
         the middleware/session cache statistics, the scheduler's admission
         counters (when a scheduler is attached), the plan policy's
         counters and the feedback collector's counters — callers no longer
-        reach into four subsystems for one health check.
+        reach into four subsystems for one health check.  Backends that
+        report partitioned-execution counters additionally get a
+        ``partitioning`` section (partitions scanned vs pruned by zone
+        maps, the derived pruning rate, and morsel tasks run).
         """
+        engine = self.database.stats()
         stats: dict[str, object] = {
             "plan": self.describe_plan(),
             "episodes": len(self.history),
             "replans": self.replans,
             "replan_seconds": self.replan_seconds(),
             "session_seconds": self.session_seconds(),
-            "engine": self.database.stats(),
+            "engine": engine,
             "cache": self.middleware.cache_statistics(),
             "policy": self.policy.counters(),
         }
+        if "partitions_scanned" in engine:
+            scanned = float(engine.get("partitions_scanned", 0.0))
+            pruned = float(engine.get("partitions_pruned", 0.0))
+            considered = scanned + pruned
+            stats["partitioning"] = {
+                "partitions_scanned": scanned,
+                "partitions_pruned": pruned,
+                "pruning_rate": pruned / considered if considered else 0.0,
+                "morsel_tasks": float(engine.get("morsel_tasks", 0.0)),
+            }
         scheduler = getattr(self.middleware, "scheduler", None) or getattr(
             getattr(self.middleware, "middleware", None), "scheduler", None
         )

@@ -16,6 +16,7 @@ a DuckDB-like API::
 """
 
 from repro.sql.engine import Database, QueryResult
+from repro.sql.morsel import MorselPool
 from repro.sql.parser import parse_sql
 from repro.sql.tokenizer import tokenize
 from repro.sql.explain import QueryCostEstimate
@@ -23,6 +24,7 @@ from repro.sql.explain import QueryCostEstimate
 __all__ = [
     "Database",
     "QueryResult",
+    "MorselPool",
     "parse_sql",
     "tokenize",
     "QueryCostEstimate",

@@ -16,13 +16,14 @@ from dataclasses import dataclass, field
 
 from repro.sql.executor import ExecutionStats, Executor
 from repro.sql.explain import CostEstimator, QueryCostEstimate, query_shape
+from repro.sql.morsel import MorselPool
 from repro.storage.statistics import CardinalityFeedback
 from repro.sql.optimizer import optimize_plan
 from repro.sql.parser import parse_sql
 from repro.sql.planner import LogicalPlan, build_logical_plan
 from repro.storage.catalog import Catalog
 from repro.storage.statistics import TableStatistics
-from repro.storage.table import Table
+from repro.storage.table import PartitionedTable, Table
 
 
 @dataclass
@@ -75,6 +76,9 @@ class EngineMetrics:
     total_groups_formed: int = 0
     total_rows_sorted: int = 0
     total_rows_deduplicated: int = 0
+    total_partitions_scanned: int = 0
+    total_partitions_pruned: int = 0
+    total_morsel_tasks: int = 0
     query_log: list[str] = field(default_factory=list)
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
@@ -90,6 +94,9 @@ class EngineMetrics:
             self.total_groups_formed += result.stats.groups_formed
             self.total_rows_sorted += result.stats.rows_sorted
             self.total_rows_deduplicated += result.stats.rows_deduplicated
+            self.total_partitions_scanned += result.stats.partitions_scanned
+            self.total_partitions_pruned += result.stats.partitions_pruned
+            self.total_morsel_tasks += result.stats.morsel_tasks
             if keep_log:
                 self.query_log.append(result.sql)
 
@@ -116,6 +123,9 @@ class EngineMetrics:
                 "groups_formed": float(self.total_groups_formed),
                 "rows_sorted": float(self.total_rows_sorted),
                 "rows_deduplicated": float(self.total_rows_deduplicated),
+                "partitions_scanned": float(self.total_partitions_scanned),
+                "partitions_pruned": float(self.total_partitions_pruned),
+                "morsel_tasks": float(self.total_morsel_tasks),
             }
 
     def reset(self) -> None:
@@ -130,6 +140,9 @@ class EngineMetrics:
             self.total_groups_formed = 0
             self.total_rows_sorted = 0
             self.total_rows_deduplicated = 0
+            self.total_partitions_scanned = 0
+            self.total_partitions_pruned = 0
+            self.total_morsel_tasks = 0
             self.query_log.clear()
 
 
@@ -167,14 +180,26 @@ class Database:
     keep_query_log:
         When True (default) the text of every executed query is kept in
         :attr:`metrics` — handy for tests and for the caching layer.
+    parallelism:
+        Worker threads for morsel-parallel execution over partitioned
+        tables; ``None`` resolves the default (``REPRO_MORSEL_WORKERS``
+        env or capped CPU count), ``1`` forces serial execution.  The
+        pool is shared by every query this engine runs and is only
+        started once a partitioned table is actually executed against.
     """
 
-    def __init__(self, keep_query_log: bool = True, plan_cache_size: int = 256) -> None:
+    def __init__(
+        self,
+        keep_query_log: bool = True,
+        plan_cache_size: int = 256,
+        parallelism: int | None = None,
+    ) -> None:
         self._catalog = Catalog()
         self._keep_query_log = keep_query_log
         self._plan_cache: OrderedDict[str, LogicalPlan] = OrderedDict()
         self._plan_cache_size = plan_cache_size
         self._plan_cache_lock = threading.RLock()
+        self.morsel_pool = MorselPool(parallelism)
         self.metrics = EngineMetrics()
 
     # ------------------------------------------------------------------ #
@@ -199,6 +224,19 @@ class Database:
     ) -> None:
         """Register a table created from a column mapping."""
         self._catalog.register(name, Table.from_columns(data, name=name), replace=replace)
+
+    def repartition(self, name: str, target_rows: int) -> None:
+        """Re-register ``name`` as a :class:`PartitionedTable`.
+
+        The table is split into contiguous chunks of about
+        ``target_rows`` rows; per-partition zone maps are computed lazily
+        by the catalog, and queries over the table run morsel-parallel
+        with zone-map pruning from then on.
+        """
+        table = self._catalog.get(name)
+        self._catalog.register(
+            name, PartitionedTable.from_table(table, target_rows), replace=True
+        )
 
     def drop_table(self, name: str) -> None:
         """Remove a registered table."""
@@ -288,7 +326,7 @@ class Database:
             result = QueryResult(sql=sql, table=table, elapsed_seconds=0.0, stats=ExecutionStats())
             self.metrics.record(result, self._keep_query_log)
             return result
-        executor = Executor(self._catalog)
+        executor = Executor(self._catalog, pool=self.morsel_pool)
         start = time.perf_counter()
         table, stats = executor.execute(plan)
         elapsed = time.perf_counter() - start
@@ -299,3 +337,7 @@ class Database:
     def query_rows(self, sql: str) -> list[dict[str, object]]:
         """Convenience wrapper returning the result rows directly."""
         return self.execute(sql).to_rows()
+
+    def close(self) -> None:
+        """Release engine resources (stops the morsel worker threads)."""
+        self.morsel_pool.shutdown()

@@ -39,22 +39,26 @@ from repro.sql.functions import (
     is_string_array,
     null_mask,
 )
+from repro.sql.morsel import MorselPool
+from repro.sql.optimizer import prune_partitions, pruning_conjuncts
 from repro.sql.planner import (
     AggregateNode,
     DistinctNode,
     FilterNode,
     LimitNode,
     LogicalPlan,
+    PartitionablePrefix,
     PlanNode,
     ProjectNode,
     ScanNode,
     SortNode,
     SubqueryNode,
     WindowNode,
+    partitionable_prefix,
 )
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column, ColumnType, factorize_array, sort_rank_key
-from repro.storage.table import Table, group_segments
+from repro.storage.table import PartitionedTable, Table, group_segments
 
 
 # --------------------------------------------------------------------------- #
@@ -73,6 +77,11 @@ class ExecutionStats:
     groups_formed: int = 0
     rows_sorted: int = 0
     rows_deduplicated: int = 0
+    #: Partitioned-execution counters: partitions actually scanned,
+    #: partitions skipped by zone-map pruning, and morsel tasks run.
+    partitions_scanned: int = 0
+    partitions_pruned: int = 0
+    morsel_tasks: int = 0
 
     def record(self, node_rows: int) -> None:
         """Record one operator execution producing ``node_rows`` rows."""
@@ -395,10 +404,21 @@ def _array_to_column(name: str, values: np.ndarray) -> Column:
 
 
 class Executor:
-    """Executes logical plans against a :class:`Catalog`."""
+    """Executes logical plans against a :class:`Catalog`.
 
-    def __init__(self, catalog: Catalog) -> None:
+    Plans over a :class:`~repro.storage.table.PartitionedTable` execute
+    their ``Scan → Filter → Project`` prefix (plus partial aggregation
+    and per-partition DISTINCT) morsel-style: zone maps prune partitions
+    the pushed-down predicates provably cannot match, the surviving
+    partitions run on the shared :class:`MorselPool`, and the merge steps
+    are row-identical to serial execution by construction (partitions are
+    contiguous row ranges, so concatenation in partition order reproduces
+    the serial operator output exactly).
+    """
+
+    def __init__(self, catalog: Catalog, pool: MorselPool | None = None) -> None:
         self._catalog = catalog
+        self._pool = pool if pool is not None else MorselPool(1)
 
     def execute(self, plan: LogicalPlan) -> tuple[Table, ExecutionStats]:
         """Execute ``plan`` and return the result table plus statistics."""
@@ -409,6 +429,9 @@ class Executor:
 
     # -------------------------------------------------------------- #
     def _execute_node(self, node: PlanNode, stats: ExecutionStats) -> Table:
+        partitioned = self._try_partitioned(node, stats)
+        if partitioned is not None:
+            return partitioned
         if isinstance(node, ScanNode):
             table = self._catalog.get(node.table_name)
             stats.rows_scanned += table.num_rows
@@ -436,15 +459,26 @@ class Executor:
 
     def _execute_filter(self, node: FilterNode, stats: ExecutionStats) -> Table:
         table = self._execute_node(node.child, stats)
-        evaluator = ExpressionEvaluator(table)
-        mask_values = evaluator.evaluate(node.predicate)
-        mask = mask_values == 1.0
-        result = table.filter(mask)
+        result = self._apply_filter(node, table)
         stats.record(result.num_rows)
         return result
 
+    @staticmethod
+    def _apply_filter(node: FilterNode, table: Table) -> Table:
+        """Row-local filter application (shared by serial and morsel paths)."""
+        evaluator = ExpressionEvaluator(table)
+        mask_values = evaluator.evaluate(node.predicate)
+        return table.filter(mask_values == 1.0)
+
     def _execute_project(self, node: ProjectNode, stats: ExecutionStats) -> Table:
         table = self._execute_node(node.child, stats)
+        result = self._apply_project(node, table)
+        stats.record(result.num_rows)
+        return result
+
+    @staticmethod
+    def _apply_project(node: ProjectNode, table: Table) -> Table:
+        """Row-local projection (shared by serial and morsel paths)."""
         evaluator = ExpressionEvaluator(table)
         columns: list[Column] = []
         used_names: set[str] = set()
@@ -475,12 +509,16 @@ class Executor:
                 name = f"{name}_{index}"
             columns.append(_array_to_column(name, values))
             used_names.add(name)
-        result = Table(columns, name=table.name)
-        stats.record(result.num_rows)
-        return result
+        return Table(columns, name=table.name)
 
     def _execute_aggregate(self, node: AggregateNode, stats: ExecutionStats) -> Table:
         table = self._execute_node(node.child, stats)
+        return self._aggregate_table(node, table, stats)
+
+    def _aggregate_table(
+        self, node: AggregateNode, table: Table, stats: ExecutionStats
+    ) -> Table:
+        """Serial aggregation of an already-materialised input table."""
         evaluator = ExpressionEvaluator(table)
 
         # Pre-compute SELECT-item expressions that group-by keys may alias.
@@ -697,6 +735,177 @@ class Executor:
         stats.record(result.num_rows)
         return result
 
+    # -------------------------------------------------------------- #
+    # Morsel-parallel partitioned execution
+    # -------------------------------------------------------------- #
+    def _try_partitioned(self, node: PlanNode, stats: ExecutionStats) -> Table | None:
+        """Execute ``node`` partition-parallel when its shape allows it.
+
+        Returns ``None`` (caller falls through to serial execution) when
+        the node is not rooted in a partitionable prefix over a
+        :class:`PartitionedTable` with more than one partition.
+        """
+        if isinstance(node, AggregateNode):
+            prefix = partitionable_prefix(node.child)
+            table = self._prefix_table(prefix)
+            if table is None:
+                return None
+            return self._morsel_aggregate(node, prefix, table, stats)
+        if isinstance(node, DistinctNode):
+            prefix = partitionable_prefix(node.child)
+            table = self._prefix_table(prefix)
+            if table is None:
+                return None
+            return self._morsel_distinct(node, prefix, table, stats)
+        if isinstance(node, (FilterNode, ProjectNode, SubqueryNode)):
+            prefix = partitionable_prefix(node)
+            if prefix is None or not prefix.nodes:
+                return None
+            table = self._prefix_table(prefix)
+            if table is None:
+                return None
+            parts = self._morsel_partitions(prefix, table, stats)
+            results = self._pool.map(
+                lambda part: self._run_chain(prefix, part),
+                parts,
+                parallel=_worth_threading(parts),
+            )
+            merged = Table.concat_all(results)
+            self._record_chain(prefix, merged.num_rows, stats)
+            return merged
+        return None
+
+    def _prefix_table(self, prefix: PartitionablePrefix | None) -> PartitionedTable | None:
+        """The prefix's base table, when it is usefully partitioned."""
+        if prefix is None or not self._catalog.has(prefix.scan.table_name):
+            return None
+        table = self._catalog.get(prefix.scan.table_name)
+        if isinstance(table, PartitionedTable) and table.num_partitions > 1:
+            return table
+        return None
+
+    def _morsel_partitions(
+        self, prefix: PartitionablePrefix, table: PartitionedTable, stats: ExecutionStats
+    ) -> list[Table]:
+        """Partition views surviving zone-map pruning (never empty).
+
+        Pruning intersects the prefix's scan-adjacent predicates with the
+        catalog's per-partition zone maps; a pruned partition provably
+        holds no satisfying row, so skipping it cannot change results.
+        When everything is pruned a single zero-row view stands in, so
+        downstream merges keep the correct schema.
+        """
+        conjuncts = []
+        for predicate in prefix.scan_filters:
+            conjuncts.extend(pruning_conjuncts(predicate))
+        total = table.num_partitions
+        if conjuncts:
+            zone_maps = self._catalog.zone_maps(prefix.scan.table_name)
+            kept = prune_partitions(zone_maps, conjuncts) if zone_maps else list(range(total))
+        else:
+            kept = list(range(total))
+        stats.partitions_scanned += len(kept)
+        stats.partitions_pruned += total - len(kept)
+        parts = [table.partition(index) for index in kept]
+        stats.rows_scanned += sum(part.num_rows for part in parts)
+        if not parts:
+            parts = [table.slice(0, 0)]
+        stats.morsel_tasks += len(parts)
+        return parts
+
+    def _run_chain(self, prefix: PartitionablePrefix, table: Table) -> Table:
+        """Apply the prefix's row-local operators to one partition."""
+        current = table
+        for chain_node in reversed(prefix.nodes):
+            if isinstance(chain_node, FilterNode):
+                current = self._apply_filter(chain_node, current)
+            elif isinstance(chain_node, ProjectNode):
+                current = self._apply_project(chain_node, current)
+            # SubqueryNode is the identity on rows.
+        return current
+
+    def _record_chain(
+        self, prefix: PartitionablePrefix, rows: int, stats: ExecutionStats
+    ) -> None:
+        """Account the chain's operators (scan + chain nodes) once each."""
+        for _ in range(len(prefix.nodes) + 1):
+            stats.record(rows)
+
+    def _morsel_distinct(
+        self,
+        node: DistinctNode,
+        prefix: PartitionablePrefix,
+        table: PartitionedTable,
+        stats: ExecutionStats,
+    ) -> Table:
+        """Per-partition DISTINCT, then a global DISTINCT over the merge.
+
+        Correct because ``distinct(concat(distinct(p_i))) ==
+        distinct(concat(p_i))`` and first-occurrence order survives: each
+        partition keeps its first occurrences in row order, partitions
+        concatenate in row order, and the final pass keeps the global
+        first of each duplicate set.
+        """
+        parts = self._morsel_partitions(prefix, table, stats)
+
+        def task(part: Table) -> tuple[int, Table]:
+            chained = self._run_chain(prefix, part)
+            return chained.num_rows, chained.take(chained.distinct_indices())
+
+        results = self._pool.map(task, parts, parallel=_worth_threading(parts))
+        stats.rows_deduplicated += sum(rows for rows, _ in results)
+        merged = Table.concat_all([deduped for _, deduped in results])
+        self._record_chain(prefix, merged.num_rows, stats)
+        result = merged.take(merged.distinct_indices())
+        stats.record(result.num_rows)
+        return result
+
+    def _morsel_aggregate(
+        self,
+        node: AggregateNode,
+        prefix: PartitionablePrefix,
+        table: PartitionedTable,
+        stats: ExecutionStats,
+    ) -> Table:
+        """Partition-parallel aggregation with a partial-state merge.
+
+        Decomposable aggregates (COUNT/SUM/MIN/MAX, AVG as sum+count)
+        compute per-partition partial states with the same ``reduceat``
+        kernels the serial path uses, then merge by re-grouping the
+        partials on the raw key values and combining states (counts and
+        sums add, mins/maxes reduce again).  Queries with aggregates that
+        have no mergeable partial state (MEDIAN, STDDEV, VARIANCE,
+        DISTINCT aggregates) still parallelise the scan/filter/project
+        prefix and aggregate the merged rows serially.
+        """
+        specs = _decompose_aggregate_items(node)
+        parts = self._morsel_partitions(prefix, table, stats)
+        if specs is None:
+            results = self._pool.map(
+                lambda part: self._run_chain(prefix, part),
+                parts,
+                parallel=_worth_threading(parts),
+            )
+            merged = Table.concat_all(results)
+            self._record_chain(prefix, merged.num_rows, stats)
+            return self._aggregate_table(node, merged, stats)
+        agg_specs, first_specs = specs
+
+        def task(part: Table) -> tuple[int, Table]:
+            chained = self._run_chain(prefix, part)
+            return chained.num_rows, _aggregate_partials(
+                node, chained, agg_specs, first_specs
+            )
+
+        partials = self._pool.map(task, parts, parallel=_worth_threading(parts))
+        stats.rows_grouped += sum(rows for rows, _ in partials)
+        self._record_chain(prefix, sum(rows for rows, _ in partials), stats)
+        merged = Table.concat_all([partial for _, partial in partials])
+        result = _merge_aggregate_partials(node, merged, agg_specs, first_specs)
+        stats.groups_formed += result.num_rows
+        stats.record(result.num_rows)
+        return result
+
 
 # --------------------------------------------------------------------------- #
 # Group-by / order-by / distinct kernels
@@ -800,6 +1009,237 @@ def _sort_indices(
     key_arrays = [evaluator.evaluate(key.expression) for key in keys]
     descending = [key.descending for key in keys]
     return sort_indices_vectorized(key_arrays, descending, table.num_rows)
+
+
+# --------------------------------------------------------------------------- #
+# Partial aggregation (morsel-parallel GROUP BY)
+#
+# A decomposable aggregate has a per-partition partial state that merges
+# into the exact global value: COUNT and SUM add, MIN and MAX reduce
+# again, AVG carries (sum, count).  The partial tables use reserved
+# ``__key_i`` / ``__agg_j`` / ``__first_j`` columns; the merge re-groups
+# them on the raw key values with the same factorize + lexsort kernels
+# the serial path uses, so merged groups come out in the identical
+# deterministic order (numbers < strings < NULL).
+# --------------------------------------------------------------------------- #
+
+#: Aggregates with a mergeable partial state.
+DECOMPOSABLE_AGGREGATES = frozenset({"COUNT", "SUM", "MIN", "MAX", "AVG"})
+
+#: Minimum average rows per morsel before a thread handoff pays for
+#: itself; smaller morsel sets run inline on the calling thread (the
+#: pruning benefit is identical either way).
+MORSEL_PARALLEL_MIN_TASK_ROWS = 8192
+
+
+def _worth_threading(parts: Sequence[Table]) -> bool:
+    """Whether a morsel set is big enough to amortise thread dispatch."""
+    if len(parts) <= 1:
+        return False
+    total = sum(part.num_rows for part in parts)
+    return total / len(parts) >= MORSEL_PARALLEL_MIN_TASK_ROWS
+
+
+def _collect_item_parts(
+    expr: Expression,
+    aggregates: dict[str, FunctionCall],
+    firsts: dict[str, Expression],
+) -> bool:
+    """Split one SELECT item into aggregate calls and group-shared parts.
+
+    Mirrors the recursion :meth:`Executor._evaluate_aggregate_expression`
+    supports; returns ``False`` when any aggregate lacks a mergeable
+    partial state (the caller then falls back to a serial merge).
+    """
+    if isinstance(expr, FunctionCall) and expr.name.upper() in AGGREGATE_KERNELS:
+        if expr.distinct or expr.name.upper() not in DECOMPOSABLE_AGGREGATES:
+            return False
+        if not expr.is_star and not expr.args:
+            return False
+        aggregates[str(expr)] = expr
+        return True
+    if isinstance(expr, BinaryOp):
+        return _collect_item_parts(expr.left, aggregates, firsts) and _collect_item_parts(
+            expr.right, aggregates, firsts
+        )
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        return _collect_item_parts(expr.operand, aggregates, firsts)
+    if isinstance(expr, Literal):
+        return True
+    if contains_aggregate(expr) or isinstance(expr, (Star, WindowFunction)):
+        return False
+    firsts[str(expr)] = expr
+    return True
+
+
+def _decompose_aggregate_items(
+    node: AggregateNode,
+) -> tuple[list[tuple[str, FunctionCall]], list[tuple[str, Expression]]] | None:
+    """All aggregate/first-value parts of the node's items, or ``None``."""
+    aggregates: dict[str, FunctionCall] = {}
+    firsts: dict[str, Expression] = {}
+    for item in node.items:
+        if not _collect_item_parts(item.expression, aggregates, firsts):
+            return None
+    return list(aggregates.items()), list(firsts.items())
+
+
+def _segment_firsts(values: np.ndarray, order: np.ndarray, starts, ends) -> list[object]:
+    """First value of every group segment (``None`` for empty segments)."""
+    return [
+        values[order[start]] if start < end else None
+        for start, end in zip(starts, ends)
+    ]
+
+
+def _aggregate_partials(
+    node: AggregateNode,
+    table: Table,
+    agg_specs: list[tuple[str, FunctionCall]],
+    first_specs: list[tuple[str, Expression]],
+) -> Table:
+    """One partition's partial-aggregation state table.
+
+    One row per local group, holding the raw group-key values, each
+    aggregate's partial state, and the group's first value of every
+    group-shared expression.
+    """
+    evaluator = ExpressionEvaluator(table)
+    alias_arrays: dict[str, np.ndarray] = {}
+    for item in node.items:
+        if item.alias and not contains_aggregate(item.expression) and not isinstance(
+            item.expression, (Star, WindowFunction)
+        ):
+            try:
+                alias_arrays[item.alias] = evaluator.evaluate(item.expression)
+            except ExecutionError:
+                continue
+    evaluator = ExpressionEvaluator(table, alias_values=alias_arrays)
+
+    group_arrays = [evaluator.evaluate(expr) for expr in node.group_by]
+    n = table.num_rows
+    if group_arrays:
+        codes = [factorize_array(arr)[0] for arr in group_arrays]
+        order, starts, ends = group_segments(codes, n)
+    else:
+        order, starts, ends = group_segments([], n)
+
+    columns: list[Column] = []
+    for index, arr in enumerate(group_arrays):
+        columns.append(
+            Column.from_values(f"__key_{index}", _segment_firsts(arr, order, starts, ends))
+        )
+    for index, (_key, call) in enumerate(agg_specs):
+        name = call.name.upper()
+        if call.is_star:
+            sizes = [float(end - start) for start, end in zip(starts, ends)]
+            columns.append(Column.from_values(f"__agg_{index}", sizes))
+            continue
+        values = evaluator.evaluate(call.args[0])
+        ordered = values[order]
+        if name == "AVG":
+            columns.append(
+                Column.from_values(
+                    f"__agg_{index}",
+                    apply_aggregate_segments("SUM", ordered, starts, ends),
+                )
+            )
+            columns.append(
+                Column.from_values(
+                    f"__agg_{index}_count",
+                    apply_aggregate_segments("COUNT", ordered, starts, ends),
+                )
+            )
+        else:
+            columns.append(
+                Column.from_values(
+                    f"__agg_{index}",
+                    apply_aggregate_segments(name, ordered, starts, ends),
+                )
+            )
+    for index, (_key, expr) in enumerate(first_specs):
+        values = evaluator.evaluate(expr)
+        columns.append(
+            Column.from_values(
+                f"__first_{index}", _segment_firsts(values, order, starts, ends)
+            )
+        )
+    return Table(columns, name=table.name)
+
+
+#: Combine kernel per aggregate: how partial states merge into the total.
+_COMBINE_KERNELS = {"COUNT": "SUM", "SUM": "SUM", "MIN": "MIN", "MAX": "MAX"}
+
+
+def _merge_aggregate_partials(
+    node: AggregateNode,
+    merged: Table,
+    agg_specs: list[tuple[str, FunctionCall]],
+    first_specs: list[tuple[str, Expression]],
+) -> Table:
+    """Merge per-partition partial states into the final aggregate table."""
+    n_keys = len(node.group_by)
+    key_codes = [
+        factorize_array(merged.column(f"__key_{index}").values)[0]
+        for index in range(n_keys)
+    ]
+    order, starts, ends = group_segments(key_codes, merged.num_rows)
+    n_groups = len(starts)
+
+    agg_finals: dict[str, list[object]] = {}
+    for index, (key, call) in enumerate(agg_specs):
+        name = call.name.upper()
+        partial = merged.column(f"__agg_{index}").values[order]
+        if call.is_star or name == "COUNT":
+            combined = apply_aggregate_segments("SUM", partial, starts, ends)
+            agg_finals[key] = [0.0 if value is None else float(value) for value in combined]
+        elif name == "AVG":
+            sums = apply_aggregate_segments("SUM", partial, starts, ends)
+            counts = apply_aggregate_segments(
+                "SUM", merged.column(f"__agg_{index}_count").values[order], starts, ends
+            )
+            agg_finals[key] = [
+                None if not count else float(total) / float(count)
+                for total, count in zip(sums, counts)
+            ]
+        else:
+            agg_finals[key] = apply_aggregate_segments(
+                _COMBINE_KERNELS[name], partial, starts, ends
+            )
+
+    first_finals: dict[str, list[object]] = {}
+    for index, (key, _expr) in enumerate(first_specs):
+        values = merged.column(f"__first_{index}").values[order]
+        out: list[object] = []
+        for start, end in zip(starts, ends):
+            if start == end:
+                out.append(None)
+                continue
+            value = values[start]
+            if is_string_array(values):
+                out.append(value)
+            else:
+                out.append(None if np.isnan(value) else float(value))
+        first_finals[key] = out
+
+    def finalize(expr: Expression) -> list[object]:
+        if isinstance(expr, FunctionCall) and expr.name.upper() in AGGREGATE_KERNELS:
+            return agg_finals[str(expr)]
+        if isinstance(expr, BinaryOp):
+            left = finalize(expr.left)
+            right = finalize(expr.right)
+            return [_combine_scalar(expr.op, lv, rv) for lv, rv in zip(left, right)]
+        if isinstance(expr, UnaryOp) and expr.op == "-":
+            return [None if value is None else -float(value) for value in finalize(expr.operand)]
+        if isinstance(expr, Literal):
+            return [expr.value] * n_groups
+        return first_finals[str(expr)]
+
+    columns = [
+        Column.from_values(item.output_name(index), finalize(item.expression))
+        for index, item in enumerate(node.items)
+    ]
+    return Table(columns, name=merged.name)
 
 
 def _combine_scalar(op: str, left: object, right: object) -> object:

@@ -42,6 +42,7 @@ from repro.sql.planner import (
     SubqueryNode,
     WindowNode,
 )
+from repro.sql.optimizer import prune_partitions, pruning_conjuncts
 from repro.sql.tokenizer import TokenType, tokenize
 from repro.storage.catalog import Catalog
 from repro.storage.statistics import CardinalityFeedback, TableStatistics
@@ -162,10 +163,21 @@ class CostEstimator:
             child = self._estimate_node(node.plan)
             return NodeEstimate(node.label(), child.estimated_rows, child.estimated_cost, [child])
         if isinstance(node, FilterNode):
-            child = self._estimate_node(node.child)
+            pruned = self._pruned_scan_estimate(node)
+            child = pruned if pruned is not None else self._estimate_node(node.child)
             stats = self._stats_for(node.child)
             selectivity = estimate_selectivity(node.predicate, stats)
-            rows = child.estimated_rows * selectivity
+            if pruned is not None and isinstance(node.child, ScanNode):
+                # Pruning shrinks the *scan*, not the number of matching
+                # rows: every match lives in a kept partition, so the
+                # filter's output is the flat estimate (whole-table rows
+                # x selectivity), capped by what survived pruning —
+                # multiplying the pruned scan by the same predicate's
+                # selectivity would double-count it.
+                total = float(self._table_rows(node.child.table_name))
+                rows = min(total * selectivity, child.estimated_rows)
+            else:
+                rows = child.estimated_rows * selectivity
             cost = child.estimated_cost + child.estimated_rows * _COST_FILTER
             return NodeEstimate(node.label(), rows, cost, [child])
         if isinstance(node, ProjectNode):
@@ -207,6 +219,33 @@ class CostEstimator:
         rows = child_estimates[0].estimated_rows if child_estimates else 1.0
         cost = sum(c.estimated_cost for c in child_estimates)
         return NodeEstimate(node.label(), rows, cost, child_estimates)
+
+    def _pruned_scan_estimate(self, node: FilterNode) -> NodeEstimate | None:
+        """Zone-map-aware scan estimate for a filter directly over a scan.
+
+        When the scanned table is partitioned, the filter's prunable
+        conjuncts are intersected with the per-partition zone maps *at
+        estimation time*, so plan costs reflect the partitions the
+        executor will actually skip: the scan's cost and cardinality
+        shrink to the kept partitions' rows.  Returns ``None`` (caller
+        uses the flat estimate) for unpartitioned tables or predicates
+        with no prunable conjunct.
+        """
+        if not isinstance(node.child, ScanNode):
+            return None
+        name = node.child.table_name
+        if not self._catalog.has(name):
+            return None
+        zone_maps = self._catalog.zone_maps(name)
+        if not zone_maps:
+            return None
+        conjuncts = pruning_conjuncts(node.predicate)
+        if not conjuncts:
+            return None
+        kept = prune_partitions(zone_maps, conjuncts)
+        kept_rows = float(sum(zone_maps[index].num_rows for index in kept))
+        label = f"{node.child.label()} [partitions {len(kept)}/{len(zone_maps)}]"
+        return NodeEstimate(label, kept_rows, kept_rows * _COST_SCAN)
 
     def _table_rows(self, name: str) -> int:
         if self._catalog.has(name):

@@ -1,0 +1,101 @@
+"""Shared worker pool for morsel-driven partitioned execution.
+
+A *morsel* is one partition's share of a partition-parallel operator
+chain (scan → filter → project → partial aggregate).  The engine owns a
+single :class:`MorselPool` and every query's executor submits its morsels
+there, so concurrent queries share one bounded set of worker threads
+instead of spawning their own.
+
+Threads (not processes) are the right vehicle here: morsel tasks spend
+their time in numpy kernels over large arrays, which release the GIL,
+and the partitions are zero-copy views over shared column arrays that a
+process pool would have to pickle.
+
+The pool is created lazily — an engine that never touches a partitioned
+table never starts a thread — and a pool configured with ``workers <= 1``
+degrades to ordinary serial iteration, which keeps the partitioned
+executor's single code path exactly equivalent to serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from threading import Lock
+from typing import TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Environment override for the default worker count.
+WORKERS_ENV = "REPRO_MORSEL_WORKERS"
+
+#: Upper bound on the default worker count (diminishing returns beyond).
+_DEFAULT_WORKER_CAP = 8
+
+
+def default_workers() -> int:
+    """The default morsel worker count (env override, else capped cores)."""
+    env = os.environ.get(WORKERS_ENV)
+    if env is not None:
+        return max(1, int(env))
+    return max(1, min(_DEFAULT_WORKER_CAP, os.cpu_count() or 1))
+
+
+class MorselPool:
+    """A lazily-started, shared thread pool for partition morsels.
+
+    Parameters
+    ----------
+    workers:
+        Worker thread count; ``None`` resolves via :func:`default_workers`
+        at construction time.  ``0``/``1`` disables threading entirely —
+        :meth:`map` then runs tasks inline, preserving one code path.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = default_workers() if workers is None else max(1, int(workers))
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = Lock()
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this pool actually fans work out to threads."""
+        return self.workers > 1
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="morsel"
+                )
+            return self._executor
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        items: Iterable[_T],
+        parallel: bool | None = None,
+    ) -> list[_R]:
+        """Apply ``fn`` to every item, preserving input order.
+
+        Runs inline (no threads) when the pool is serial, there is at
+        most one item, or the caller passes ``parallel=False`` (morsels
+        too small to amortise a thread handoff); otherwise dispatches to
+        the shared executor.  The first raised exception propagates to
+        the caller either way.
+        """
+        materialized: Sequence[_T] = list(items)
+        use_threads = self.parallel if parallel is None else (parallel and self.parallel)
+        if not use_threads or len(materialized) <= 1:
+            return [fn(item) for item in materialized]
+        executor = self._ensure_executor()
+        return list(executor.map(fn, materialized))
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (idempotent; pool restarts on next use)."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None

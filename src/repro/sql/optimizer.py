@@ -14,6 +14,9 @@ order (Section 2 of the paper):
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from dataclasses import dataclass
+
 from repro.sql.ast_nodes import (
     Between,
     BinaryOp,
@@ -43,6 +46,7 @@ from repro.sql.planner import (
     SubqueryNode,
     WindowNode,
 )
+from repro.storage.statistics import ZoneMap
 
 
 # --------------------------------------------------------------------------- #
@@ -267,6 +271,158 @@ def _filter_can_enter_subquery(predicate: Expression, subquery: SubqueryNode) ->
     return False
 
 
+# --------------------------------------------------------------------------- #
+# Zone-map partition pruning
+#
+# The pruning pass intersects pushed-down filter predicates with the
+# per-partition zone maps of a PartitionedTable: a partition whose zone
+# provably cannot contain a satisfying row is skipped before scanning.
+# The analysis here is deliberately conservative — it only extracts
+# *conjuncts* that compare a bare base-table column against literals
+# (predicates on computed columns never prune), and anything it cannot
+# analyse simply contributes no conjunct, which is always safe: pruning
+# on a subset of a conjunction can only keep extra partitions, and the
+# filter still runs row-wise over every kept partition.
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class PruningInterval:
+    """``column ∈ [low, high]`` implied by a conjunct (None = unbounded).
+
+    Any comparison also implies ``column IS NOT NULL`` (a NULL operand
+    makes the predicate unknown, which a filter drops), which is how an
+    interval conjunct prunes NULL-only partitions.
+    """
+
+    column: str
+    low: float | None = None
+    high: float | None = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+
+@dataclass(frozen=True)
+class PruningNullCheck:
+    """``column IS [NOT] NULL`` conjunct (``negated`` = IS NOT NULL)."""
+
+    column: str
+    negated: bool = False
+
+
+PruningConjunct = PruningInterval | PruningNullCheck
+
+
+def _literal_number(expr: Expression) -> float | None:
+    if isinstance(expr, Literal) and isinstance(expr.value, (int, float)) and not isinstance(
+        expr.value, bool
+    ):
+        return float(expr.value)
+    return None
+
+
+def _comparison_conjunct(op: str, left: Expression, right: Expression) -> PruningConjunct | None:
+    column: str | None = None
+    bound: float | None = None
+    if isinstance(left, ColumnRef):
+        column, bound = left.name, _literal_number(right)
+    elif isinstance(right, ColumnRef):
+        column, bound = right.name, _literal_number(left)
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+    if column is None:
+        return None
+    if bound is None:
+        # A comparison against a string literal (or any non-numeric
+        # literal) still implies the column is not NULL.
+        if isinstance(right, Literal) or isinstance(left, Literal):
+            return PruningNullCheck(column, negated=True)
+        return None
+    if op == "=":
+        return PruningInterval(column, bound, bound)
+    if op == "<":
+        return PruningInterval(column, None, bound, high_inclusive=False)
+    if op == "<=":
+        return PruningInterval(column, None, bound)
+    if op == ">":
+        return PruningInterval(column, bound, None, low_inclusive=False)
+    if op == ">=":
+        return PruningInterval(column, bound, None)
+    if op == "<>":
+        # Cannot bound the value, but NULL still never satisfies it.
+        return PruningNullCheck(column, negated=True)
+    return None
+
+
+def pruning_conjuncts(predicate: Expression) -> list[PruningConjunct]:
+    """Partition-prunable conjuncts of ``predicate`` (conservative).
+
+    Only conjuncts of the form *bare column vs literal* are extracted:
+    comparisons, non-negated BETWEEN (non-literal bounds leave that side
+    open), non-negated IN over numeric literals, and IS [NOT] NULL.
+    Disjunctions, negations and any predicate over a computed expression
+    contribute nothing — those cannot prune.
+    """
+    if isinstance(predicate, BinaryOp):
+        op = predicate.op.upper()
+        if op == "AND":
+            return pruning_conjuncts(predicate.left) + pruning_conjuncts(predicate.right)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            conjunct = _comparison_conjunct(op, predicate.left, predicate.right)
+            return [conjunct] if conjunct is not None else []
+        return []
+    if isinstance(predicate, Between) and not predicate.negated:
+        if not isinstance(predicate.expr, ColumnRef):
+            return []
+        low = _literal_number(predicate.low)
+        high = _literal_number(predicate.high)
+        if low is None and high is None:
+            return []
+        # Open-ended on a non-literal side: only the literal bound prunes.
+        return [PruningInterval(predicate.expr.name, low, high)]
+    if isinstance(predicate, InList) and not predicate.negated:
+        if not isinstance(predicate.expr, ColumnRef):
+            return []
+        bounds = [_literal_number(v) for v in predicate.values]
+        if not bounds or any(b is None for b in bounds):
+            # Mixed/string lists: membership still implies NOT NULL when
+            # every element is a literal.
+            if predicate.values and all(isinstance(v, Literal) for v in predicate.values):
+                return [PruningNullCheck(predicate.expr.name, negated=True)]
+            return []
+        return [PruningInterval(predicate.expr.name, min(bounds), max(bounds))]
+    if isinstance(predicate, IsNull) and isinstance(predicate.expr, ColumnRef):
+        return [PruningNullCheck(predicate.expr.name, negated=predicate.negated)]
+    return []
+
+
+def _zone_may_satisfy(zone_map: ZoneMap, conjunct: PruningConjunct) -> bool:
+    zone = zone_map.column(conjunct.column)
+    if zone is None:
+        return True
+    if isinstance(conjunct, PruningNullCheck):
+        if conjunct.negated:
+            return zone.non_null > 0
+        return zone.null_count > 0
+    return zone.may_contain_range(
+        conjunct.low, conjunct.high, conjunct.low_inclusive, conjunct.high_inclusive
+    )
+
+
+def prune_partitions(
+    zone_maps: Sequence[ZoneMap], conjuncts: Sequence[PruningConjunct]
+) -> list[int]:
+    """Indices of partitions that may hold satisfying rows.
+
+    A partition is kept unless some conjunct is provably unsatisfiable
+    within its zones (conjunction semantics: failing any one conjunct
+    empties the whole predicate for that partition).
+    """
+    kept: list[int] = []
+    for index, zone_map in enumerate(zone_maps):
+        if all(_zone_may_satisfy(zone_map, conjunct) for conjunct in conjuncts):
+            kept.append(index)
+    return kept
+
+
 def _merge_filters(node: PlanNode) -> PlanNode:
     """Merge chains of adjacent filters into a single conjunction."""
     if isinstance(node, FilterNode):
@@ -281,4 +437,11 @@ def _merge_filters(node: PlanNode) -> PlanNode:
     return node
 
 
-__all__ = ["optimize_plan", "fold_constants"]
+__all__ = [
+    "optimize_plan",
+    "fold_constants",
+    "pruning_conjuncts",
+    "prune_partitions",
+    "PruningInterval",
+    "PruningNullCheck",
+]

@@ -7,16 +7,27 @@ per-column statistics used for cost estimation (``EXPLAIN``).
 """
 
 from repro.storage.column import Column, ColumnType
-from repro.storage.table import Table
+from repro.storage.table import PartitionedTable, Table
 from repro.storage.catalog import Catalog
-from repro.storage.statistics import ColumnStatistics, TableStatistics, compute_table_statistics
+from repro.storage.statistics import (
+    ColumnStatistics,
+    ColumnZone,
+    TableStatistics,
+    ZoneMap,
+    compute_table_statistics,
+    compute_zone_map,
+)
 
 __all__ = [
     "Column",
     "ColumnType",
     "Table",
+    "PartitionedTable",
     "Catalog",
     "ColumnStatistics",
+    "ColumnZone",
     "TableStatistics",
+    "ZoneMap",
     "compute_table_statistics",
+    "compute_zone_map",
 ]

@@ -6,8 +6,13 @@ import threading
 from collections.abc import Mapping, Sequence
 
 from repro.errors import CatalogError
-from repro.storage.statistics import TableStatistics, compute_table_statistics
-from repro.storage.table import Table
+from repro.storage.statistics import (
+    TableStatistics,
+    ZoneMap,
+    compute_table_statistics,
+    compute_zone_map,
+)
+from repro.storage.table import PartitionedTable, Table
 
 
 class Catalog:
@@ -26,17 +31,24 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._statistics: dict[str, TableStatistics] = {}
+        self._zone_maps: dict[str, list[ZoneMap]] = {}
         self._lock = threading.RLock()
 
     def register(self, name: str, table: Table, replace: bool = False) -> None:
-        """Register ``table`` under ``name``."""
+        """Register ``table`` under ``name``.
+
+        A :class:`PartitionedTable` keeps its partition boundaries (and
+        gets per-partition zone maps computed lazily); a plain table is
+        stored flat.
+        """
         if not name:
             raise CatalogError("table name must be non-empty")
         with self._lock:
             if name in self._tables and not replace:
                 raise CatalogError(f"table {name!r} already registered (pass replace=True)")
-            self._tables[name] = Table(table.columns(), name=name)
+            self._tables[name] = table.renamed(name)
             self._statistics.pop(name, None)
+            self._zone_maps.pop(name, None)
 
     def register_rows(
         self,
@@ -55,6 +67,7 @@ class Catalog:
                 raise CatalogError(f"cannot drop unknown table {name!r}")
             del self._tables[name]
             self._statistics.pop(name, None)
+            self._zone_maps.pop(name, None)
 
     def get(self, name: str) -> Table:
         """Look up a table by name."""
@@ -82,3 +95,20 @@ class Catalog:
             if name not in self._statistics:
                 self._statistics[name] = compute_table_statistics(self.get(name))
             return self._statistics[name]
+
+    def zone_maps(self, name: str) -> list[ZoneMap] | None:
+        """Per-partition zone maps of a partitioned table, or ``None``.
+
+        Computed lazily on first request and cached; invalidated on
+        re-registration and drop, like :meth:`statistics`.  Plain
+        (unpartitioned) tables have no zone maps.
+        """
+        with self._lock:
+            table = self.get(name)
+            if not isinstance(table, PartitionedTable):
+                return None
+            if name not in self._zone_maps:
+                self._zone_maps[name] = [
+                    compute_zone_map(partition) for partition in table.partitions()
+                ]
+            return self._zone_maps[name]

@@ -19,6 +19,7 @@ actually been seen.
 from __future__ import annotations
 
 import threading
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -162,6 +163,138 @@ class CardinalityFeedback:
         """Forget all observations (between benchmark scenarios)."""
         with self._lock:
             self._shapes.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Zone maps (per-partition pruning statistics)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ColumnZone:
+    """Pruning summary of one column within one partition.
+
+    ``minimum``/``maximum`` are only populated for numeric columns with at
+    least one non-NULL value; string columns (and all-NULL slices) carry
+    ``None`` bounds and can only be pruned through their null counts.
+    """
+
+    num_rows: int
+    null_count: int
+    minimum: float | None = None
+    maximum: float | None = None
+
+    @property
+    def non_null(self) -> int:
+        """Number of non-NULL values in this partition's column slice."""
+        return self.num_rows - self.null_count
+
+    def may_contain_range(
+        self,
+        low: float | None,
+        high: float | None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> bool:
+        """Whether any row of this zone *may* satisfy a range predicate.
+
+        Conservative: returns True whenever pruning cannot be proven safe
+        (unknown bounds, string columns).  A comparison never matches a
+        NULL (three-valued logic), so a slice with no non-NULL values is
+        always prunable.
+        """
+        if self.non_null == 0:
+            return False
+        if low is not None and high is not None:
+            if low > high or (low == high and not (low_inclusive and high_inclusive)):
+                return False
+        if self.minimum is None or self.maximum is None:
+            return True
+        if low is not None and (
+            self.maximum < low or (self.maximum == low and not low_inclusive)
+        ):
+            return False
+        if high is not None and (
+            self.minimum > high or (self.minimum == high and not high_inclusive)
+        ):
+            return False
+        return True
+
+    def range_fraction(self, low: float | None, high: float | None) -> float:
+        """Estimated fraction of this zone's rows inside ``[low, high]``.
+
+        Assumes uniformity *within* the zone's own span — far tighter than
+        whole-table uniformity when the data is clustered (time-ordered
+        arrival), which is exactly when partitioning pays off.
+        """
+        if self.num_rows == 0 or self.non_null == 0:
+            return 0.0
+        if not self.may_contain_range(low, high):
+            return 0.0
+        base = self.non_null / self.num_rows
+        if self.minimum is None or self.maximum is None:
+            return base * 0.3
+        span = self.maximum - self.minimum
+        if span <= 0:
+            return base
+        lo = self.minimum if low is None else max(low, self.minimum)
+        hi = self.maximum if high is None else min(high, self.maximum)
+        if hi < lo:
+            return 0.0
+        return base * min(1.0, max(hi - lo, 0.0) / span)
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-column :class:`ColumnZone` summaries of one partition."""
+
+    num_rows: int
+    columns: dict[str, ColumnZone] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnZone | None:
+        """Zone of ``name`` or ``None`` when unknown."""
+        return self.columns.get(name)
+
+
+def compute_zone_map(table: Table) -> ZoneMap:
+    """Compute the zone map of one partition (min/max/null-count per column).
+
+    Deliberately cheaper than :func:`compute_table_statistics`: no
+    distinct counts, one ``nanmin``/``nanmax`` pass per numeric column.
+    """
+    zones: dict[str, ColumnZone] = {}
+    for column in table.columns():
+        n = len(column)
+        nulls = int(column.null_mask().sum())
+        minimum: float | None = None
+        maximum: float | None = None
+        if column.is_numeric() and nulls < n:
+            with np.errstate(invalid="ignore"):
+                minimum = float(np.nanmin(column.values))
+                maximum = float(np.nanmax(column.values))
+        zones[column.name] = ColumnZone(n, nulls, minimum, maximum)
+    return ZoneMap(num_rows=table.num_rows, columns=zones)
+
+
+def zone_maps_range_rows(
+    zone_maps: Sequence[ZoneMap], column: str, low: float | None, high: float | None
+) -> float | None:
+    """Estimated matching rows of a range predicate, summed per partition.
+
+    Returns ``None`` when no partition carries a zone for ``column`` (the
+    caller should fall back to whole-table statistics).  Partitions whose
+    zone excludes the range contribute zero — so the estimate directly
+    reflects zone-map pruning.
+    """
+    known = False
+    rows = 0.0
+    for zone_map in zone_maps:
+        zone = zone_map.column(column)
+        if zone is None:
+            continue
+        known = True
+        rows += zone.num_rows * zone.range_fraction(low, high)
+    return rows if known else None
 
 
 def compute_column_statistics(column: Column, sample_limit: int = 100_000) -> ColumnStatistics:

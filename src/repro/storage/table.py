@@ -209,24 +209,48 @@ class Table:
 
     def concat(self, other: "Table") -> "Table":
         """Append ``other``'s rows; both tables must share the same columns."""
-        if self.column_names() != other.column_names():
-            raise ValueError(
-                "cannot concat tables with different columns: "
-                f"{self.column_names()} vs {other.column_names()}"
-            )
+        return Table.concat_all([self, other])
+
+    @staticmethod
+    def concat_all(tables: Sequence["Table"]) -> "Table":
+        """Concatenate many tables in one pass (no O(k) intermediate copies).
+
+        All tables must share the same column names in the same order.  A
+        column is kept numeric when it is numeric in every input; any
+        string occurrence promotes the merged column to the object
+        representation (NULLs become ``None``).  This is the merge
+        primitive of partitioned execution: per-partition results come
+        back as k tables and a pairwise ``concat`` chain would copy the
+        growing prefix k-1 times.
+        """
+        if not tables:
+            raise ValueError("concat_all requires at least one table")
+        first = tables[0]
+        names = first.column_names()
+        for other in tables[1:]:
+            if other.column_names() != names:
+                raise ValueError(
+                    "cannot concat tables with different columns: "
+                    f"{names} vs {other.column_names()}"
+                )
+        if len(tables) == 1:
+            return Table(first.columns(), name=first.name)
         cols = []
-        for name in self.column_names():
-            a, b = self.column(name), other.column(name)
-            if a.ctype is ColumnType.NUMERIC and b.ctype is ColumnType.NUMERIC:
-                values = np.concatenate([a.values, b.values])
+        for name in names:
+            parts = [table.column(name) for table in tables]
+            if all(part.ctype is ColumnType.NUMERIC for part in parts):
+                values = np.concatenate([part.values for part in parts])
                 cols.append(Column(name, values, ColumnType.NUMERIC))
             else:
                 values = np.concatenate(
-                    [np.asarray(a.to_pylist(), dtype=object),
-                     np.asarray(b.to_pylist(), dtype=object)]
+                    [np.asarray(part.to_pylist(), dtype=object) for part in parts]
                 )
                 cols.append(Column(name, values, ColumnType.STRING))
-        return Table(cols, name=self.name)
+        return Table(cols, name=first.name)
+
+    def renamed(self, name: str) -> "Table":
+        """Return this table under another name (same class, shared data)."""
+        return Table(self.columns(), name=name)
 
     # ------------------------------------------------------------------ #
     # Conversion
@@ -251,6 +275,103 @@ class Table:
     def head(self, n: int = 5) -> list[dict[str, object]]:
         """First ``n`` rows as dictionaries (for debugging and docs)."""
         return self.slice(0, n).to_rows()
+
+
+class PartitionedTable(Table):
+    """A table split into contiguous row-range partitions.
+
+    Behaves exactly like a :class:`Table` everywhere (same columns, same
+    rows, same operations — derived tables come back unpartitioned); the
+    partitioning is extra structure the executor exploits: each partition
+    is a zero-copy row-range view suitable for morsel-parallel execution,
+    and the catalog attaches a zone map (per-column min/max/null-count,
+    see :mod:`repro.storage.statistics`) to each partition so range
+    predicates can skip partitions before scanning them.
+
+    Partitions are *horizontal* and *ordered*: partition ``i`` holds rows
+    ``boundaries[i]:boundaries[i + 1]`` of the original row order, so
+    concatenating the partitions in index order reproduces the table
+    exactly — the invariant every merge step of partitioned execution
+    relies on.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[Column],
+        name: str = "",
+        boundaries: Sequence[int] | None = None,
+    ) -> None:
+        super().__init__(columns, name=name)
+        n = self.num_rows
+        if boundaries is None:
+            boundaries = (0, n)
+        bounds = [int(b) for b in boundaries]
+        if len(bounds) < 2 or bounds[0] != 0 or bounds[-1] != n:
+            raise ValueError(
+                f"partition boundaries must run 0..{n}, got {bounds}"
+            )
+        # A zero-row table is one (empty) partition; otherwise partitions
+        # must be non-empty so zone maps and morsel tasks stay meaningful.
+        if n == 0:
+            bounds = [0, 0]
+        elif any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError(f"partition boundaries must be strictly increasing: {bounds}")
+        self._boundaries: tuple[int, ...] = tuple(bounds)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_table(cls, table: Table, target_rows: int) -> "PartitionedTable":
+        """Split ``table`` into chunks of about ``target_rows`` rows each."""
+        if target_rows <= 0:
+            raise ValueError(f"target_rows must be positive, got {target_rows}")
+        n = table.num_rows
+        boundaries = list(range(0, n, target_rows)) + [n] if n else [0, 0]
+        return cls(table.columns(), name=table.name, boundaries=boundaries)
+
+    def repartition(self, target_rows: int) -> "PartitionedTable":
+        """Rebuild with a new chunk size (shares all column data)."""
+        return PartitionedTable.from_table(self, target_rows)
+
+    def renamed(self, name: str) -> "PartitionedTable":
+        """Rename while *preserving* the partition boundaries."""
+        return PartitionedTable(self.columns(), name=name, boundaries=self._boundaries)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_partitions(self) -> int:
+        """Number of row-range partitions."""
+        return len(self._boundaries) - 1
+
+    def partition_bounds(self) -> list[tuple[int, int]]:
+        """``(start, end)`` row range of every partition."""
+        return list(zip(self._boundaries[:-1], self._boundaries[1:]))
+
+    def partition_num_rows(self, index: int) -> int:
+        """Row count of partition ``index``."""
+        start, end = self._boundaries[index], self._boundaries[index + 1]
+        return end - start
+
+    def partition(self, index: int) -> Table:
+        """Partition ``index`` as a zero-copy :class:`Table` view.
+
+        Row ranges slice the backing numpy arrays directly, so building a
+        partition view allocates no row data.
+        """
+        start, end = self._boundaries[index], self._boundaries[index + 1]
+        cols = [
+            Column(col.name, col.values[start:end], col.ctype) for col in self.columns()
+        ]
+        return Table(cols, name=self.name)
+
+    def partitions(self) -> list[Table]:
+        """All partitions in row order."""
+        return [self.partition(i) for i in range(self.num_partitions)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartitionedTable({self.name!r}, rows={self.num_rows}, "
+            f"partitions={self.num_partitions}, cols={self.column_names()})"
+        )
 
 
 def rows_from_iterable(rows: Iterable[Mapping[str, object]]) -> list[dict[str, object]]:

@@ -22,8 +22,6 @@ with NULLs, duplicates and empty inputs.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -37,10 +35,10 @@ from repro.backends import (
     create_backend,
 )
 from repro.backends.base import BackendCapabilities
+from repro.bench.scale import row_sort_key, values_equal
 from repro.datasets import generate_dataset
 from repro.rewrite.templates import QueryFragment, apply_transform
 from repro.sql import Database
-from repro.storage.column import sort_rank_key
 
 settings.register_profile(
     "repro-diff", deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=15
@@ -89,15 +87,11 @@ def backends() -> dict[str, object]:
 # --------------------------------------------------------------------------- #
 
 
-def _values_equal(a: object, b: object) -> bool:
-    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
-        return math.isclose(float(a), float(b), rel_tol=1e-9, abs_tol=1e-9)
-    return a == b
-
-
-def _row_key(row: dict[str, object]) -> tuple:
-    """Canonical multiset key: deterministic across types and NULLs."""
-    return tuple(sort_rank_key(round(v, 6) if isinstance(v, float) else v) for v in row.values())
+# The row-identity contract (float tolerance + canonical multiset key)
+# lives in one place — repro.bench.scale — so the bench correctness gate
+# and this suite can never drift apart.
+_values_equal = values_equal
+_row_key = row_sort_key
 
 
 def assert_identical_results(

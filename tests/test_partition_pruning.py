@@ -1,0 +1,299 @@
+"""Zone-map pruning: conjunct extraction, pushdown, executor, estimator.
+
+Covers the satellite edges explicitly: NULL-only partitions, open-ended
+BETWEEN, and predicates on computed columns (which must never prune).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.engine import Database
+from repro.sql.optimizer import (
+    PruningInterval,
+    PruningNullCheck,
+    optimize_plan,
+    prune_partitions,
+    pruning_conjuncts,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.planner import (
+    FilterNode,
+    ProjectNode,
+    ScanNode,
+    SubqueryNode,
+    build_logical_plan,
+    partitionable_prefix,
+)
+from repro.storage import Table, compute_zone_map
+
+
+def _predicate(sql_where: str):
+    """The optimised WHERE predicate of ``SELECT * FROM t WHERE ...``."""
+    plan = optimize_plan(build_logical_plan(parse_sql(f"SELECT * FROM t WHERE {sql_where}")))
+    node = plan.root
+    while not isinstance(node, FilterNode):
+        node = node.children()[0]
+    return node.predicate
+
+
+# --------------------------------------------------------------------------- #
+# Conjunct extraction
+# --------------------------------------------------------------------------- #
+
+
+class TestPruningConjuncts:
+    def test_comparisons_both_directions(self):
+        assert pruning_conjuncts(_predicate("x >= 10")) == [PruningInterval("x", 10.0, None)]
+        assert pruning_conjuncts(_predicate("10 >= x")) == [PruningInterval("x", None, 10.0)]
+        assert pruning_conjuncts(_predicate("x < 5")) == [
+            PruningInterval("x", None, 5.0, high_inclusive=False)
+        ]
+        assert pruning_conjuncts(_predicate("x = 3")) == [PruningInterval("x", 3.0, 3.0)]
+
+    def test_conjunction_collects_both_sides(self):
+        conjuncts = pruning_conjuncts(_predicate("x >= 10 AND y < 2 AND g = 'a'"))
+        assert PruningInterval("x", 10.0, None) in conjuncts
+        assert PruningInterval("y", None, 2.0, high_inclusive=False) in conjuncts
+        # String equality cannot bound the value but implies NOT NULL.
+        assert PruningNullCheck("g", negated=True) in conjuncts
+
+    def test_between_and_open_ended_between(self):
+        assert pruning_conjuncts(_predicate("x BETWEEN 3 AND 7")) == [
+            PruningInterval("x", 3.0, 7.0)
+        ]
+        # Open-ended BETWEEN: a non-literal bound leaves that side open.
+        assert pruning_conjuncts(_predicate("x BETWEEN 3 AND y")) == [
+            PruningInterval("x", 3.0, None)
+        ]
+        assert pruning_conjuncts(_predicate("x NOT BETWEEN 3 AND 7")) == []
+
+    def test_in_list_and_null_checks(self):
+        assert pruning_conjuncts(_predicate("x IN (5, 1, 3)")) == [
+            PruningInterval("x", 1.0, 5.0)
+        ]
+        assert pruning_conjuncts(_predicate("g IN ('a', 'b')")) == [
+            PruningNullCheck("g", negated=True)
+        ]
+        assert pruning_conjuncts(_predicate("x IS NULL")) == [PruningNullCheck("x")]
+        assert pruning_conjuncts(_predicate("x IS NOT NULL")) == [
+            PruningNullCheck("x", negated=True)
+        ]
+
+    def test_disjunctions_and_negations_never_prune(self):
+        assert pruning_conjuncts(_predicate("x > 5 OR y < 2")) == []
+        assert pruning_conjuncts(_predicate("NOT x > 5")) == []
+        assert pruning_conjuncts(_predicate("x NOT IN (1, 2)")) == []
+        # But analysable conjuncts survive next to unanalysable ones.
+        assert pruning_conjuncts(_predicate("(x > 5 OR y < 2) AND z >= 1")) == [
+            PruningInterval("z", 1.0, None)
+        ]
+
+    def test_computed_columns_never_prune(self):
+        assert pruning_conjuncts(_predicate("x + 1 > 10")) == []
+        assert pruning_conjuncts(_predicate("ABS(x) > 10")) == []
+        assert pruning_conjuncts(_predicate("x * 2 BETWEEN 1 AND 5")) == []
+        assert pruning_conjuncts(_predicate("ABS(x) IS NULL")) == []
+
+
+# --------------------------------------------------------------------------- #
+# Zone intersection
+# --------------------------------------------------------------------------- #
+
+
+def _zone_maps():
+    """Three partitions: t in [0,9] all-null v; t in [10,19]; t in [20,29]."""
+    parts = [
+        Table.from_columns({"t": [float(i) for i in range(0, 10)], "v": [None] * 10}),
+        Table.from_columns(
+            {"t": [float(i) for i in range(10, 20)], "v": [float(i) for i in range(10)]}
+        ),
+        Table.from_columns({"t": [float(i) for i in range(20, 30)], "v": [None, 1.0] * 5}),
+    ]
+    return [compute_zone_map(part) for part in parts]
+
+
+class TestPrunePartitions:
+    def test_range_pruning(self):
+        zone_maps = _zone_maps()
+        assert prune_partitions(zone_maps, [PruningInterval("t", 12.0, 14.0)]) == [1]
+        assert prune_partitions(zone_maps, [PruningInterval("t", None, 9.0)]) == [0]
+        assert prune_partitions(zone_maps, [PruningInterval("t", 100.0, None)]) == []
+        assert prune_partitions(zone_maps, []) == [0, 1, 2]
+
+    def test_null_only_partition_pruned_by_comparison(self):
+        zone_maps = _zone_maps()
+        # v is entirely NULL in partition 0: no comparison can match there.
+        assert prune_partitions(zone_maps, [PruningInterval("v", None, None)]) == [1, 2]
+        assert prune_partitions(zone_maps, [PruningNullCheck("v", negated=True)]) == [1, 2]
+
+    def test_is_null_keeps_only_partitions_with_nulls(self):
+        assert prune_partitions(_zone_maps(), [PruningNullCheck("v")]) == [0, 2]
+
+    def test_unknown_columns_keep_everything(self):
+        assert prune_partitions(_zone_maps(), [PruningInterval("q", 0.0, 1.0)]) == [0, 1, 2]
+
+
+# --------------------------------------------------------------------------- #
+# Predicate pushdown (the pass that feeds pruning)
+# --------------------------------------------------------------------------- #
+
+
+class TestPredicatePushdown:
+    def test_filter_pushes_below_passthrough_projection(self):
+        plan = optimize_plan(
+            build_logical_plan(parse_sql("SELECT x, y FROM (SELECT * FROM t) AS s WHERE x > 1"))
+        )
+        # The filter must reach the scan inside the subquery.
+        prefix = partitionable_prefix(plan.root)
+        assert prefix is not None
+        assert isinstance(prefix.scan, ScanNode)
+        assert len(prefix.scan_filters) == 1
+
+    def test_filter_blocked_by_computed_alias(self):
+        plan = optimize_plan(
+            build_logical_plan(
+                parse_sql("SELECT x + 1 AS z FROM (SELECT x + 1 AS z FROM t) AS s WHERE z > 1")
+            )
+        )
+        prefix = partitionable_prefix(plan.root)
+        assert prefix is not None
+        # The filter references the computed alias: it stays above the
+        # projection and must NOT be treated as scan-adjacent.
+        assert prefix.scan_filters == ()
+
+    def test_prefix_stops_at_aggregates(self):
+        plan = optimize_plan(
+            build_logical_plan(parse_sql("SELECT g, COUNT(*) AS n FROM t GROUP BY g"))
+        )
+        assert partitionable_prefix(plan.root) is None
+        # ... but the aggregate's child is a (bare-scan) prefix.
+        aggregate = plan.root
+        prefix = partitionable_prefix(aggregate.child)
+        assert prefix is not None and prefix.nodes == ()
+
+    def test_prefix_walks_subqueries(self):
+        plan = optimize_plan(
+            build_logical_plan(parse_sql("SELECT * FROM (SELECT x FROM t WHERE x > 2) AS s"))
+        )
+        prefix = partitionable_prefix(plan.root)
+        assert prefix is not None
+        assert any(isinstance(n, SubqueryNode) for n in prefix.nodes)
+        assert any(isinstance(n, ProjectNode) for n in prefix.nodes)
+        assert len(prefix.scan_filters) == 1
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: executor counters and estimator integration
+# --------------------------------------------------------------------------- #
+
+
+def _partitioned_db(parallelism: int = 2) -> Database:
+    db = Database(parallelism=parallelism)
+    rows = [
+        {
+            "t": float(i),
+            "v": None if i < 100 else float(i % 13),
+            "g": "abc"[i % 3],
+        }
+        for i in range(1000)
+    ]
+    db.register_rows("data", rows)
+    db.repartition("data", 100)
+    return db
+
+
+class TestExecutorPruning:
+    def test_counters_and_results(self):
+        db = _partitioned_db()
+        result = db.execute("SELECT t, v FROM data WHERE t >= 350 AND t < 450")
+        assert result.num_rows == 100
+        assert result.stats.partitions_scanned == 2
+        assert result.stats.partitions_pruned == 8
+        assert result.stats.rows_scanned == 200
+
+    def test_null_only_partition_pruned(self):
+        db = _partitioned_db()
+        # v is NULL throughout partition 0 — any comparison skips it.
+        result = db.execute("SELECT COUNT(*) AS n FROM data WHERE v >= 0")
+        assert result.to_rows() == [{"n": 900}]
+        assert result.stats.partitions_pruned == 1
+
+    def test_is_null_prunes_non_null_partitions(self):
+        db = _partitioned_db()
+        result = db.execute("SELECT COUNT(*) AS n FROM data WHERE v IS NULL")
+        assert result.to_rows() == [{"n": 100}]
+        assert result.stats.partitions_scanned == 1
+        assert result.stats.partitions_pruned == 9
+
+    def test_computed_predicate_scans_everything(self):
+        db = _partitioned_db()
+        result = db.execute("SELECT COUNT(*) AS n FROM data WHERE t + 0 >= 900")
+        assert result.to_rows() == [{"n": 100}]
+        assert result.stats.partitions_scanned == 10
+        assert result.stats.partitions_pruned == 0
+
+    def test_all_partitions_pruned_yields_empty_result(self):
+        db = _partitioned_db()
+        result = db.execute("SELECT t, g FROM data WHERE t > 5000")
+        assert result.num_rows == 0
+        assert result.table.column_names() == ["t", "g"]
+        assert result.stats.partitions_pruned == 10
+
+    def test_metrics_accumulate(self):
+        db = _partitioned_db()
+        db.execute("SELECT t FROM data WHERE t < 100")
+        db.execute("SELECT t FROM data WHERE t >= 900")
+        snapshot = db.metrics.snapshot()
+        assert snapshot["partitions_scanned"] == 2.0
+        assert snapshot["partitions_pruned"] == 18.0
+        assert snapshot["morsel_tasks"] >= 2.0
+
+    def test_explain_reflects_pruning(self):
+        db = _partitioned_db()
+        estimate = db.explain("SELECT * FROM data WHERE t >= 350 AND t < 450")
+        text = estimate.pretty()
+        assert "[partitions 2/10]" in text
+        flat = Database()
+        flat.register_rows("data", [{"t": float(i)} for i in range(1000)])
+        flat_estimate = flat.explain("SELECT * FROM data WHERE t >= 350 AND t < 450")
+        assert estimate.total_cost < flat_estimate.total_cost
+
+    def test_serial_engine_prunes_too(self):
+        db = _partitioned_db(parallelism=1)
+        result = db.execute("SELECT SUM(v) AS s FROM data WHERE t BETWEEN 200 AND 299")
+        assert result.stats.partitions_scanned == 1
+        assert result.stats.partitions_pruned == 9
+
+
+class TestSystemStats:
+    def test_partitioning_section_exposed(self, histogram_spec):
+        from repro.core.system import VegaPlusSystem
+        from repro.datasets import generate_dataset
+
+        db = Database(parallelism=2)
+        db.register_rows("flights", generate_dataset("flights", 600, seed=3))
+        db.repartition("flights", 150)
+        system = VegaPlusSystem(histogram_spec, db)
+        system.optimize(anticipated_interactions=[{"maxbins": 30}])
+        system.initialize()
+        system.interact({"min_delay": 60})
+        stats = system.stats()
+        assert "partitioning" in stats
+        section = stats["partitioning"]
+        assert set(section) == {
+            "partitions_scanned",
+            "partitions_pruned",
+            "pruning_rate",
+            "morsel_tasks",
+        }
+        assert 0.0 <= section["pruning_rate"] <= 1.0
+
+    def test_pruning_rate_math(self):
+        db = _partitioned_db()
+        db.execute("SELECT t FROM data WHERE t < 100")
+        snapshot = db.metrics.snapshot()
+        rate = snapshot["partitions_pruned"] / (
+            snapshot["partitions_pruned"] + snapshot["partitions_scanned"]
+        )
+        assert rate == pytest.approx(0.9)

@@ -28,7 +28,9 @@ The adaptive-policy benchmarks (``bench_fig11_adaptive.py``) similarly
 get ``policy`` (per-policy percentiles and plan ids), ``regret``
 (replan counters and the static/adaptive p95 speedup) and
 ``accuracy_over_time`` (the online comparator's prequential pairwise
-accuracy curve) lifted to top-level entries.
+accuracy curve) lifted to top-level entries; the partitioned scale sweep
+(``bench_fig12_scale.py``) gets ``pruning_rate`` (zone-map partition
+pruning) and ``speedup_vs_serial`` lifted the same way.
 """
 
 from __future__ import annotations
@@ -79,6 +81,10 @@ def summarize(raw_paths: list[Path]) -> dict:
                 }
             if "coalescing_rate" in extra:
                 entry["coalescing_rate"] = round(float(extra["coalescing_rate"]), 4)
+            if "pruning_rate" in extra:
+                entry["pruning_rate"] = round(float(extra["pruning_rate"]), 4)
+            if "speedup_vs_serial" in extra:
+                entry["speedup_vs_serial"] = round(float(extra["speedup_vs_serial"]), 3)
             if isinstance(extra.get("policy"), dict):
                 entry["policy"] = extra["policy"]
             if isinstance(extra.get("regret"), dict):
