@@ -13,15 +13,18 @@ approach the paper's scale when more time is available.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.backends import backend_names
 from repro.bench.experiments import collect_measurements
-from repro.bench.harness import BenchmarkHarness
+from repro.bench.harness import BenchmarkHarness, run_metadata
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
-    """``--backend {embedded,sqlite}``: the server-side SQL backend axis."""
+    """``--backend``: the SQL backend axis; ``--results-db``: auto-ingest."""
     parser.addoption(
         "--backend",
         action="store",
@@ -29,6 +32,43 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         choices=backend_names(),
         help="server-side SQL backend the benchmarks execute against",
     )
+    parser.addoption(
+        "--results-db",
+        action="store",
+        default=os.environ.get("REPRO_RESULTS_DB"),
+        help=(
+            "ingest this run's --benchmark-json output into the given "
+            "results database when the session ends (default: the "
+            "REPRO_RESULTS_DB environment variable; unset = no ingest)"
+        ),
+    )
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    """Auto-ingest the benchmark JSON into the results DB, if asked to.
+
+    pytest-benchmark writes the ``--benchmark-json`` file from a
+    hookwrapper around this hook, so by the time this (trylast)
+    implementation runs the raw JSON is on disk.  Ingest only happens
+    on clean exits — a failed benchmark run must not pollute the
+    trajectory the regression gate compares against.
+    """
+    db_path = session.config.getoption("--results-db")
+    if not db_path or exitstatus != 0:
+        return
+    json_file = session.config.getoption("benchmark_json", default=None)
+    json_path = Path(getattr(json_file, "name", "") or "")
+    if not json_file or not json_path.exists():
+        return
+    from repro.bench.resultsdb import ResultsDB
+
+    backend = session.config.getoption("--backend")
+    with ResultsDB(db_path) as results_db:
+        run_id = results_db.ingest_files(
+            [json_path], metadata=run_metadata(backend=backend)
+        )
+    print(f"\nbenchdb: ingested {json_path.name} as run {run_id} into {db_path}")
 
 #: Data sizes used by the model-quality experiments (Tables 2-4, Figures 6-7).
 BENCH_SIZES: tuple[int, ...] = (2_000, 5_000, 10_000)

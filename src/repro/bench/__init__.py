@@ -16,11 +16,21 @@ Contents:
 * :mod:`repro.bench.concurrency` — the concurrent multi-session workload
   driver (N users × scenario, latency percentiles, serial-equivalence
   checking) behind the Figure 10 extension benchmark;
-* :mod:`repro.bench.reporting` — small helpers to format result tables.
+* :mod:`repro.bench.resultsdb` — the persistent SQLite results store
+  (``runs`` + ``task_results``) and the trajectory-aware comparison
+  engine behind ``tools/benchdb.py`` and the CI regression gate;
+* :mod:`repro.bench.reporting` — small helpers to format result tables,
+  run listings and trajectory comparisons.
 """
 
 from repro.bench.workload import InteractionWorkload, WorkloadGenerator, TemplateInstance
-from repro.bench.harness import BenchmarkHarness, PlanMeasurement, SessionMeasurement
+from repro.bench.harness import (
+    BenchmarkHarness,
+    PlanMeasurement,
+    SessionMeasurement,
+    run_metadata,
+)
+from repro.bench.resultsdb import ComparisonReport, ResultsDB
 from repro.bench.concurrency import (
     CONCURRENCY_SCENARIOS,
     ConcurrencyResult,
@@ -36,6 +46,9 @@ __all__ = [
     "BenchmarkHarness",
     "PlanMeasurement",
     "SessionMeasurement",
+    "run_metadata",
+    "ComparisonReport",
+    "ResultsDB",
     "CONCURRENCY_SCENARIOS",
     "ConcurrencyResult",
     "build_sessions",

@@ -5,8 +5,8 @@ Every runner returns a structured result object with a ``rows()`` method
 for further analysis.  Default workload sizes are scaled down from the
 paper's 50 k – 10 M rows so the full suite runs on a laptop in minutes; the
 ``sizes`` argument restores larger scales when more time is available.
-EXPERIMENTS.md records the paper-reported values next to the values this
-module reproduces.
+``docs/EXPERIMENTS.md`` records the paper-reported values next to the
+values this module reproduces, one row per table/figure.
 """
 
 from __future__ import annotations

@@ -11,10 +11,17 @@ interaction session, and records:
 
 which is exactly the labelled data the paper's comparator models are
 trained and evaluated on.
+
+The harness also stamps every benchmark run with provenance
+(:func:`run_metadata`): git SHA, machine fingerprint, python version,
+``REPRO_BENCH_SCALE`` and the worker configuration — the run-level row
+the results database (:mod:`repro.bench.resultsdb`) keys trajectories
+on.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -32,6 +39,37 @@ from repro.errors import BenchmarkError
 from repro.net.channel import NetworkModel
 from repro.net.serialize import ArrowCodec, Codec
 from repro.vega.spec import VegaSpec, parse_spec_dict
+
+
+def run_metadata(backend: str | None = None) -> dict[str, object]:
+    """Provenance of the current benchmark run, for the results DB.
+
+    Everything :meth:`repro.bench.resultsdb.ResultsDB.ingest` wants on
+    the ``runs`` row: git SHA, machine fingerprint, python version, the
+    active ``REPRO_BENCH_SCALE``, and the execution configuration
+    (backend, morsel-worker override) that distinguishes otherwise
+    identical runs.
+    """
+    from repro.bench.resultsdb import (
+        current_git_sha,
+        local_machine_info,
+        machine_fingerprint,
+    )
+    from repro.bench.scale import bench_scale
+
+    machine_info = local_machine_info()
+    metadata: dict[str, object] = {
+        "git_sha": current_git_sha(),
+        "machine": machine_fingerprint(machine_info),
+        "python": machine_info["python_version"],
+        "bench_scale": bench_scale(),
+    }
+    if backend is not None:
+        metadata["backend"] = backend
+    workers = os.environ.get("REPRO_MORSEL_WORKERS")
+    if workers is not None:
+        metadata["morsel_workers"] = workers
+    return metadata
 
 
 @dataclass

@@ -1,4 +1,10 @@
-"""Small helpers to format experiment results as text tables."""
+"""Small helpers to format experiment results as text tables.
+
+Besides the generic table/mapping formatters used by the experiment
+runners, this module renders the results-DB artefacts — run listings,
+trajectory comparisons and per-experiment trends — for the
+``tools/benchdb.py`` CLI (see :mod:`repro.bench.resultsdb`).
+"""
 
 from __future__ import annotations
 
@@ -30,6 +36,86 @@ def format_mapping(mapping: Mapping[str, object], title: str | None = None) -> s
     for key, value in mapping.items():
         lines.append(f"{key}: {_fmt(value)}")
     return "\n".join(lines)
+
+
+def format_runs(runs: Sequence[object]) -> str:
+    """Render :class:`~repro.bench.resultsdb.RunRecord` rows as a table."""
+    rows = [
+        [
+            run.run_id,
+            (run.run_at or run.ingested_at or "?")[:19],
+            (run.git_sha or "-")[:10],
+            _ellipsis(run.machine, 44),
+            ",".join(run.backends) or "-",
+            "-" if run.bench_scale is None else run.bench_scale,
+            run.n_results,
+        ]
+        for run in runs
+    ]
+    return format_table(
+        ["run", "when", "git sha", "machine", "backends", "scale", "results"],
+        rows,
+        title="Benchmark runs",
+    )
+
+
+def format_comparison(report: object) -> str:
+    """Render a :class:`~repro.bench.resultsdb.ComparisonReport`.
+
+    Worst verdicts first; the baseline column shows how many trajectory
+    runs the median was taken over.
+    """
+    rows = [
+        [
+            _ellipsis(delta.experiment, 58),
+            delta.metric.removesuffix("_seconds"),
+            delta.current,
+            "-" if delta.baseline is None else delta.baseline,
+            f"(n={delta.baseline_runs})" if delta.baseline_runs else "",
+            format_delta_percent(delta.delta_ratio),
+            delta.verdict.upper() if delta.verdict == "regression" else delta.verdict,
+        ]
+        for delta in report.deltas
+    ]
+    title = (
+        f"Run {report.run_id} vs median of last {report.baseline_window} run(s) "
+        f"on {_ellipsis(report.machine, 40)} "
+        f"(threshold +{report.threshold:.0%}, floor {report.min_seconds}s)"
+    )
+    return format_table(
+        ["experiment", "metric", "current", "baseline", "window", "delta", "verdict"],
+        rows,
+        title=title,
+    )
+
+
+def format_trend(points: Sequence[object], experiment: str, metric: str) -> str:
+    """Render :class:`~repro.bench.resultsdb.TrendPoint` rows, oldest first."""
+    rows = [
+        [
+            point.run_id,
+            (point.run_at or "?")[:19],
+            (point.git_sha or "-")[:10],
+            point.value,
+        ]
+        for point in points
+    ]
+    return format_table(
+        ["run", "when", "git sha", metric],
+        rows,
+        title=f"Trend of {experiment} ({metric})",
+    )
+
+
+def format_delta_percent(delta_ratio: float | None) -> str:
+    """``+12.3%`` / ``-4.0%`` rendering of a comparison delta ratio."""
+    if delta_ratio is None:
+        return "-"
+    return f"{delta_ratio:+.1%}"
+
+
+def _ellipsis(text: str, width: int) -> str:
+    return text if len(text) <= width else text[: width - 1] + "…"
 
 
 def _fmt(value: object) -> str:

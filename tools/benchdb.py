@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""CLI over the persistent benchmark results database.
+
+The store and comparison engine live in :mod:`repro.bench.resultsdb`;
+this tool exposes them as four verbs::
+
+    python tools/benchdb.py ingest BENCH_smoke_embedded.json [more.json ...]
+    python tools/benchdb.py list
+    python tools/benchdb.py compare [--run ID] [--baseline-window N] \
+        [--threshold 0.5] [--min-seconds 0.002]
+    python tools/benchdb.py trend "test_figure10_concurrent_sessions[cold_start_burst][embedded]"
+
+``ingest`` records one *run* (all files of one benchmark invocation —
+raw ``--benchmark-json`` output and/or compact summaries) with its git
+SHA, timestamp, machine fingerprint, backend set and scale, plus one
+``task_results`` row per experiment.
+
+``compare`` is the regression gate CI runs: the selected run (default:
+the latest) is checked per experiment against the median of the last N
+runs recorded **on the same machine fingerprint**.  Exit status is 0
+when no experiment regresses beyond the threshold, 1 when at least one
+does, 2 on usage errors — so ``benchdb ingest ... && benchdb compare``
+is the whole gate.  A fresh database (no trajectory yet) passes: every
+experiment is reported as ``new``.
+
+The default database lives at ``benchmarks/results/bench_results.db``
+(gitignored; CI persists it across workflow runs — see
+``docs/REPRODUCING.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+# Make `python tools/benchdb.py` work on a fresh checkout, no install or
+# PYTHONPATH needed.
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.bench.harness import run_metadata  # noqa: E402
+from repro.bench.reporting import format_comparison, format_runs, format_trend  # noqa: E402
+from repro.bench.resultsdb import METRIC_COLUMNS, ResultsDB  # noqa: E402
+
+DEFAULT_DB = _REPO_ROOT / ResultsDB.DEFAULT_PATH
+
+
+def cmd_ingest(db: ResultsDB, arguments: argparse.Namespace) -> int:
+    metadata = run_metadata(backend=arguments.backend)
+    if arguments.git_sha:
+        metadata["git_sha"] = arguments.git_sha
+    if arguments.machine:
+        metadata["machine"] = arguments.machine
+    else:
+        # Prefer the fingerprint recorded inside raw BENCH json (the
+        # machine that *ran* the benchmarks) over the ingesting host's.
+        metadata.pop("machine", None)
+        metadata.pop("python", None)
+    if "REPRO_BENCH_SCALE" not in os.environ:
+        # Same for the scale: the value recorded by the benchmark run
+        # beats this process's default.
+        metadata.pop("bench_scale", None)
+    run_id = db.ingest_files(arguments.json, metadata=metadata)
+    run = db.run(run_id)
+    print(
+        f"ingested run {run.run_id}: {run.n_results} experiment(s) from "
+        f"{run.source} (machine {run.machine}, git {run.git_sha or '?'})"
+    )
+    return 0
+
+
+def cmd_list(db: ResultsDB, arguments: argparse.Namespace) -> int:
+    runs = db.runs(machine=arguments.machine)
+    if not runs:
+        print("no runs recorded yet")
+        return 0
+    print(format_runs(runs))
+    return 0
+
+
+def cmd_compare(db: ResultsDB, arguments: argparse.Namespace) -> int:
+    if db.latest_run_id() is None:
+        print("error: results database holds no runs yet", file=sys.stderr)
+        return 2
+    report = db.compare(
+        run_id=arguments.run,
+        baseline_window=arguments.baseline_window,
+        threshold=arguments.threshold,
+        min_seconds=arguments.min_seconds,
+    )
+    print(format_comparison(report))
+    n_new = len(report.new_experiments)
+    n_better = len(report.improvements)
+    n_worse = len(report.regressions)
+    print(
+        f"\n{len(report.deltas)} experiment(s): {n_worse} regression(s), "
+        f"{n_better} improvement(s), {n_new} without trajectory"
+    )
+    if not report.passed:
+        print("FAIL: p95/median regression(s) beyond threshold", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+def cmd_trend(db: ResultsDB, arguments: argparse.Namespace) -> int:
+    points = db.trend(
+        arguments.experiment, metric=arguments.metric, machine=arguments.machine
+    )
+    if not points:
+        known = db.experiments()
+        print(
+            f"no data for {arguments.experiment!r} ({arguments.metric}); "
+            f"{len(known)} experiment(s) recorded",
+            file=sys.stderr,
+        )
+        return 2
+    print(format_trend(points, arguments.experiment, arguments.metric))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="benchdb",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--db",
+        type=Path,
+        default=DEFAULT_DB,
+        help=f"results database path (default: {DEFAULT_DB})",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ingest = commands.add_parser("ingest", help="record BENCH json file(s) as one run")
+    ingest.add_argument("json", nargs="+", type=Path, help="raw or summary BENCH json")
+    ingest.add_argument("--git-sha", help="override the run's git SHA")
+    ingest.add_argument("--machine", help="override the machine fingerprint")
+    ingest.add_argument("--backend", help="record the backend this run targeted")
+
+    list_runs = commands.add_parser("list", help="list recorded runs")
+    list_runs.add_argument("--machine", help="only runs on this fingerprint")
+
+    compare = commands.add_parser(
+        "compare", help="gate the latest run against its trajectory"
+    )
+    compare.add_argument("--run", type=int, help="run id to compare (default: latest)")
+    compare.add_argument(
+        "--baseline-window",
+        type=int,
+        default=5,
+        help="trajectory length the baseline median is taken over (default: 5)",
+    )
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative regression threshold, 0.25 = +25%% (default: 0.25)",
+    )
+    compare.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.002,
+        help="absolute delta floor below which jitter never fails the gate",
+    )
+
+    trend = commands.add_parser("trend", help="one experiment's metric over time")
+    trend.add_argument("experiment", help="experiment key, e.g. 'test_x[scenario][backend]'")
+    trend.add_argument(
+        "--metric",
+        default="p95_seconds",
+        choices=METRIC_COLUMNS,
+        help="metric column to plot (default: p95_seconds)",
+    )
+    trend.add_argument("--machine", help="only runs on this fingerprint")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    handlers = {
+        "ingest": cmd_ingest,
+        "list": cmd_list,
+        "compare": cmd_compare,
+        "trend": cmd_trend,
+    }
+    with ResultsDB(arguments.db) as db:
+        try:
+            return handlers[arguments.command](db, arguments)
+        except (ValueError, OSError, KeyError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

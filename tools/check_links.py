@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
-"""Fail on broken relative links in Markdown files.
+"""Fail on broken relative links in Markdown files and Python docstrings.
 
 Usage::
 
-    python tools/check_links.py README.md docs
+    python tools/check_links.py README.md docs src
 
 Every ``[text](target)`` whose target is not an absolute URL or a pure
 anchor must resolve to an existing file or directory, relative to the
 Markdown file containing it (anchors are stripped before the check).
 Targets that escape the repository root (e.g. GitHub-served
 ``../../actions/...`` badge paths) cannot be validated on disk and are
-skipped.  Directories are walked recursively for ``*.md`` files.  Exits
-non-zero listing every broken link.
+skipped.  Directories are walked recursively for ``*.md`` files.
+
+Python files are checked too: every ``*.md`` path mentioned in a module
+docstring (e.g. ``docs/EXPERIMENTS.md records ...``) must exist — a
+docstring promising documentation that was never written is exactly the
+drift this would have caught.  A bare reference (``ARCHITECTURE.md``)
+resolves against the repository root, ``docs/``, and the module's own
+directory;
+a reference containing ``/`` resolves against the repository root and
+the module's directory.  Directories passed on the command line are
+walked recursively for ``*.py`` as well.
+
+Exits non-zero listing every broken link.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 from pathlib import Path
@@ -26,17 +38,21 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Inline Markdown links; images share the syntax (leading ``!`` ignored).
 _LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
+#: Markdown file references inside docstrings (``docs/FOO.md``, ``BAR.md``).
+_DOCSTRING_MD_PATTERN = re.compile(r"(?<![\w/.-])([\w./-]+\.md)\b")
+
 #: Targets that are not relative file links.
 _EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
 
 
-def markdown_files(arguments: list[str]) -> list[Path]:
-    """Expand the CLI arguments into Markdown file paths."""
+def source_files(arguments: list[str]) -> list[Path]:
+    """Expand the CLI arguments into Markdown and Python file paths."""
     files: list[Path] = []
     for argument in arguments:
         path = Path(argument)
         if path.is_dir():
             files.extend(sorted(path.rglob("*.md")))
+            files.extend(sorted(path.rglob("*.py")))
         else:
             files.append(path)
     return files
@@ -63,25 +79,52 @@ def broken_links(markdown_path: Path) -> list[tuple[int, str]]:
     return problems
 
 
+def docstring_references(python_path: Path) -> list[str]:
+    """Markdown paths referenced from the module's docstring."""
+    try:
+        tree = ast.parse(python_path.read_text(encoding="utf-8"))
+    except SyntaxError:
+        return []
+    docstring = ast.get_docstring(tree) or ""
+    return _DOCSTRING_MD_PATTERN.findall(docstring)
+
+
+def broken_docstring_links(python_path: Path) -> list[str]:
+    """Docstring ``*.md`` references that resolve to no file on disk."""
+    problems: list[str] = []
+    for reference in docstring_references(python_path):
+        candidates = [_REPO_ROOT / reference, python_path.parent / reference]
+        if "/" not in reference:
+            candidates.append(_REPO_ROOT / "docs" / reference)
+        if not any(candidate.exists() for candidate in candidates):
+            problems.append(reference)
+    return problems
+
+
 def main(arguments: list[str]) -> int:
     if not arguments:
         print("usage: check_links.py <file-or-directory> ...", file=sys.stderr)
         return 2
-    files = markdown_files(arguments)
+    files = source_files(arguments)
     failures = 0
-    for markdown_path in files:
-        if not markdown_path.exists():
-            print(f"MISSING FILE {markdown_path}", file=sys.stderr)
+    for path in files:
+        if not path.exists():
+            print(f"MISSING FILE {path}", file=sys.stderr)
             failures += 1
             continue
-        for line_number, target in broken_links(markdown_path):
-            print(f"BROKEN {markdown_path}:{line_number}: {target}", file=sys.stderr)
+        if path.suffix == ".py":
+            for reference in broken_docstring_links(path):
+                print(f"BROKEN DOCSTRING REF {path}: {reference}", file=sys.stderr)
+                failures += 1
+            continue
+        for line_number, target in broken_links(path):
+            print(f"BROKEN {path}:{line_number}: {target}", file=sys.stderr)
             failures += 1
     checked = len(files)
     if failures:
         print(f"{failures} broken link(s) across {checked} file(s)", file=sys.stderr)
         return 1
-    print(f"OK: {checked} markdown file(s), no broken relative links")
+    print(f"OK: {checked} file(s), no broken relative links or docstring refs")
     return 0
 
 

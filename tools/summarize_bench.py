@@ -18,19 +18,13 @@ backend-independent experiments that repeat across input files under the
 same key (the SQL kernel micro-benchmarks), the first file listed wins
 and the duplicates are reported on stderr.
 
-Experiments that record latency percentiles (the concurrency benchmarks
-put ``extra_info["latency_percentiles"] = {"p50": ..., "p95": ...,
-"p99": ...}``) get those lifted to a top-level ``latency_percentiles``
-entry, alongside ``coalescing_rate`` when present, so the trend summary
-carries tail-latency data without digging through ``extra_info``.
-
-The adaptive-policy benchmarks (``bench_fig11_adaptive.py``) similarly
-get ``policy`` (per-policy percentiles and plan ids), ``regret``
-(replan counters and the static/adaptive p95 speedup) and
-``accuracy_over_time`` (the online comparator's prequential pairwise
-accuracy curve) lifted to top-level entries; the partitioned scale sweep
-(``bench_fig12_scale.py``) gets ``pruning_rate`` (zone-map partition
-pruning) and ``speedup_vs_serial`` lifted the same way.
+The per-experiment entry layout — which percentiles exist, what the
+lifted scalar metrics (``coalescing_rate``, ``pruning_rate``,
+``speedup_vs_serial``) and structured extras (``policy``, ``regret``,
+``accuracy_over_time``) are called — is defined **once** in
+:mod:`repro.bench.resultsdb` and shared with the persistent results
+database, so the committed summary and ``tools/benchdb.py`` always
+agree on field names (see ``docs/REPRODUCING.md``).
 """
 
 from __future__ import annotations
@@ -39,6 +33,12 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+# Works on a fresh checkout, no install or PYTHONPATH needed.
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.bench.resultsdb import SUMMARY_SCHEMA, iter_raw_experiments  # noqa: E402
 
 
 def summarize(raw_paths: list[Path]) -> dict:
@@ -53,11 +53,7 @@ def summarize(raw_paths: list[Path]) -> dict:
         if machine:
             machines.add(f"{cpu.get('brand_raw', machine.get('machine', '?'))}")
             pythons.add(machine.get("python_version", "?"))
-        for benchmark in raw.get("benchmarks", []):
-            extra = benchmark.get("extra_info", {})
-            name = benchmark["name"]
-            backend = extra.get("backend")
-            key = f"{name}[{backend}]" if backend else name
+        for key, entry in iter_raw_experiments(raw):
             if key in experiments:
                 print(
                     f"note: {key} already summarised; keeping the first "
@@ -65,36 +61,9 @@ def summarize(raw_paths: list[Path]) -> dict:
                     file=sys.stderr,
                 )
                 continue
-            stats = benchmark["stats"]
-            entry = {
-                "median_seconds": round(stats["median"], 6),
-                "min_seconds": round(stats["min"], 6),
-                "mean_seconds": round(stats["mean"], 6),
-                "rounds": stats["rounds"],
-                "extra_info": extra,
-            }
-            percentiles = extra.get("latency_percentiles")
-            if isinstance(percentiles, dict):
-                entry["latency_percentiles"] = {
-                    name: round(float(value), 6)
-                    for name, value in sorted(percentiles.items())
-                }
-            if "coalescing_rate" in extra:
-                entry["coalescing_rate"] = round(float(extra["coalescing_rate"]), 4)
-            if "pruning_rate" in extra:
-                entry["pruning_rate"] = round(float(extra["pruning_rate"]), 4)
-            if "speedup_vs_serial" in extra:
-                entry["speedup_vs_serial"] = round(float(extra["speedup_vs_serial"]), 3)
-            if isinstance(extra.get("policy"), dict):
-                entry["policy"] = extra["policy"]
-            if isinstance(extra.get("regret"), dict):
-                entry["regret"] = extra["regret"]
-            accuracy = extra.get("accuracy_over_time")
-            if isinstance(accuracy, list):
-                entry["accuracy_over_time"] = [round(float(v), 4) for v in accuracy]
             experiments[key] = entry
     return {
-        "schema": "bench-summary/v1",
+        "schema": SUMMARY_SCHEMA,
         "machine": sorted(machines),
         "python": sorted(pythons),
         "experiments": dict(sorted(experiments.items())),
