@@ -63,6 +63,11 @@ class EmbeddedBackend(SQLBackend):
     def catalog(self) -> Catalog:
         return self.database.catalog
 
+    @property
+    def ivm(self):
+        """The wrapped engine's IVM view manager (``None`` when disabled)."""
+        return self.database.ivm
+
     # ------------------------------------------------------------------ #
     def register_table(self, name: str, table: Table, replace: bool = False) -> None:
         self.database.register_table(name, table, replace=replace)

@@ -35,24 +35,27 @@ pins the in-memory database alive for the backend's lifetime.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import math
 import os
 import sqlite3
 import threading
 import time
+from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from repro.backends.base import BackendCapabilities, SQLBackend
-from repro.errors import ExecutionError
-from repro.sql.engine import EngineMetrics, QueryResult
+from repro.errors import ExecutionError, ReproError
+from repro.sql.engine import EngineMetrics, QueryResult, normalize_sql
 from repro.sql.executor import ExecutionStats
 from repro.sql.explain import CostEstimator, QueryCostEstimate, query_shape
+from repro.sql.ivm import IVMConfig, IVMManager
 from repro.sql.optimizer import optimize_plan
 from repro.sql.parser import parse_sql
-from repro.sql.planner import build_logical_plan
+from repro.sql.planner import LogicalPlan, build_logical_plan
 from repro.storage.catalog import Catalog
 from repro.storage.sqlite_adapter import load_table, quote_identifier, table_from_cursor
 from repro.storage.statistics import CardinalityFeedback, TableStatistics
@@ -133,11 +136,27 @@ class SqliteBackend(SQLBackend):
     sqlite3's one-thread-per-connection rule while still reading the
     same tables.
 
+    Crossfilter-style brush sequences are additionally served through the
+    shared incremental-view-maintenance subsystem (:mod:`repro.sql.ivm`):
+    eligible aggregate queries are answered by delta-maintaining a
+    materialized view instead of re-running the SQL on SQLite.  Because
+    the IVM kernels are the *embedded* engine's, strict eligibility rules
+    (``IVMConfig(strict=True)``) restrict maintenance to query shapes
+    whose results are bit-identical across both engines — everything else
+    falls through to SQLite untouched.
+
     Parameters
     ----------
     keep_query_log:
         When True (default) the text of every executed query is kept in
         :attr:`metrics`, mirroring the embedded engine's flag.
+    ivm:
+        When True (default) brush sequences over eligible aggregates are
+        answered via incremental view maintenance instead of SQL
+        re-execution.
+    ivm_config:
+        Overrides the IVM tuning knobs; ``strict`` is forced to True
+        because only the strict shape subset is cross-engine exact.
     """
 
     name = "sqlite"
@@ -145,7 +164,18 @@ class SqliteBackend(SQLBackend):
     #: Distinguishes the shared-cache URI of each live backend instance.
     _instance_ids = itertools.count()
 
-    def __init__(self, keep_query_log: bool = True, **_ignored: object) -> None:
+    #: Cap on the normalized-SQL -> logical-plan cache used by the IVM
+    #: interception (parsing each brush step anew would dominate the
+    #: delta-maintenance cost it is meant to save).
+    _PLAN_CACHE_SIZE = 128
+
+    def __init__(
+        self,
+        keep_query_log: bool = True,
+        ivm: bool = True,
+        ivm_config: IVMConfig | None = None,
+        **_ignored: object,
+    ) -> None:
         self._uri = (
             f"file:repro-sqlite-{os.getpid()}-{next(self._instance_ids)}"
             "?mode=memory&cache=shared"
@@ -157,6 +187,16 @@ class SqliteBackend(SQLBackend):
         self._catalog = Catalog()
         self._keep_query_log = keep_query_log
         self._metrics = EngineMetrics()
+        if ivm:
+            config = ivm_config if ivm_config is not None else IVMConfig()
+            config = dataclasses.replace(config, strict=True)
+            self._ivm: IVMManager | None = IVMManager(
+                self._catalog, metrics=self._metrics, config=config
+            )
+        else:
+            self._ivm = None
+        self._plan_cache: OrderedDict[str, LogicalPlan | None] = OrderedDict()
+        self._plan_cache_lock = threading.Lock()
         # The keeper: the shared in-memory database lives exactly as long
         # as at least one connection to its URI is open.
         self._keeper = self.connection
@@ -173,6 +213,11 @@ class SqliteBackend(SQLBackend):
     @property
     def catalog(self) -> Catalog:
         return self._catalog
+
+    @property
+    def ivm(self) -> IVMManager | None:
+        """The backend's IVM view manager (``None`` when disabled)."""
+        return self._ivm
 
     @property
     def connection(self) -> sqlite3.Connection:
@@ -261,6 +306,20 @@ class SqliteBackend(SQLBackend):
             result = QueryResult(sql=sql, table=table, elapsed_seconds=0.0, stats=ExecutionStats())
             self.metrics.record(result, self._keep_query_log)
             return result
+        attempt = None
+        if self._ivm is not None:
+            start = time.perf_counter()
+            plan = self._logical_plan(sql)
+            attempt = self._ivm.attempt(plan) if plan is not None else None
+            if attempt is not None and attempt.table is not None:
+                elapsed = time.perf_counter() - start
+                self._ivm.observe(attempt, elapsed)
+                stats = attempt.stats if attempt.stats is not None else ExecutionStats()
+                result = QueryResult(
+                    sql=sql, table=attempt.table, elapsed_seconds=elapsed, stats=stats
+                )
+                self.metrics.record(result, self._keep_query_log)
+                return result
         start = time.perf_counter()
         try:
             cursor = self.connection.execute(sql)
@@ -268,10 +327,42 @@ class SqliteBackend(SQLBackend):
         except sqlite3.Error as exc:
             raise ExecutionError(f"sqlite backend failed to execute {sql!r}: {exc}") from exc
         elapsed = time.perf_counter() - start
+        if attempt is not None:
+            # The arm selector routed this shape to a re-scan (or the view
+            # declined); feed it the observed SQLite latency so it learns.
+            self._ivm.observe(attempt, elapsed)
         table = table_from_cursor(cursor.description, rows)
         result = QueryResult(sql=sql, table=table, elapsed_seconds=elapsed, stats=ExecutionStats())
         self.metrics.record(result, self._keep_query_log)
         return result
+
+    def _logical_plan(self, sql: str) -> LogicalPlan | None:
+        """The embedded logical plan for ``sql``, or ``None`` if unparseable.
+
+        Plans are cached under the normalized SQL text (literals included
+        — a brush step with a new threshold is a new plan) so re-issued
+        queries, e.g. concurrent crossfilter sessions replaying the same
+        step, parse once.  A parse failure (sqlite-only syntax) is cached
+        as ``None`` so the failure is also paid only once.
+        """
+        text = sql
+        for clause in _DIALECT_CLAUSES:
+            text = text.replace(clause, "")
+        key = normalize_sql(text)
+        with self._plan_cache_lock:
+            if key in self._plan_cache:
+                self._plan_cache.move_to_end(key)
+                return self._plan_cache[key]
+        try:
+            plan: LogicalPlan | None = optimize_plan(build_logical_plan(parse_sql(text)))
+        except ReproError:
+            plan = None
+        with self._plan_cache_lock:
+            self._plan_cache[key] = plan
+            self._plan_cache.move_to_end(key)
+            while len(self._plan_cache) > self._PLAN_CACHE_SIZE:
+                self._plan_cache.popitem(last=False)
+        return plan
 
     def explain(
         self, sql: str, feedback: CardinalityFeedback | None = None

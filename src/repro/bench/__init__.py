@@ -16,6 +16,9 @@ Contents:
 * :mod:`repro.bench.concurrency` — the concurrent multi-session workload
   driver (N users × scenario, latency percentiles, serial-equivalence
   checking) behind the Figure 10 extension benchmark;
+* :mod:`repro.bench.ivm` — the sliding-brush trajectory driver behind the
+  Figure 13 extension benchmark (incremental view maintenance vs plain
+  re-execution, with exact row-identity checking);
 * :mod:`repro.bench.resultsdb` — the persistent SQLite results store
   (``runs`` + ``task_results``) and the trajectory-aware comparison
   engine behind ``tools/benchdb.py`` and the CI regression gate;
@@ -37,6 +40,14 @@ from repro.bench.concurrency import (
     build_sessions,
     run_scenario,
 )
+from repro.bench.ivm import (
+    IVMPoint,
+    IVMRunResult,
+    brush_trajectory,
+    headline_ivm_point,
+    ivm_points,
+    run_ivm_trajectory,
+)
 from repro.bench.templates import all_templates, get_template
 
 __all__ = [
@@ -53,6 +64,12 @@ __all__ = [
     "ConcurrencyResult",
     "build_sessions",
     "run_scenario",
+    "IVMPoint",
+    "IVMRunResult",
+    "brush_trajectory",
+    "headline_ivm_point",
+    "ivm_points",
+    "run_ivm_trajectory",
     "all_templates",
     "get_template",
 ]

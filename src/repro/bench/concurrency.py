@@ -15,6 +15,12 @@ Three scenarios:
 * ``crossfilter_storm`` — every session crossfilters the same dashboard,
   drawing filter thresholds from a small shared pool: heavy (but not
   total) overlap, exercising coalescing *and* cache reuse,
+* ``sliding_brush`` — every session drags its own brush monotonically
+  across the filter dimension, with thresholds distinct across *all*
+  sessions and steps: zero overlap by construction, so neither
+  coalescing nor result caching can mask the per-interaction cost — this
+  is the regime incremental view maintenance (:mod:`repro.sql.ivm`) is
+  built for,
 * ``mixed_dashboards`` — sessions are spread across three dashboard
   families with per-session parameters: low overlap, exercising raw
   concurrent throughput.
@@ -43,7 +49,12 @@ from repro.server.scheduler import RequestScheduler
 from repro.server.session import SessionManager, latency_percentiles
 
 #: Scenario names accepted by :func:`build_sessions` / :func:`run_scenario`.
-CONCURRENCY_SCENARIOS = ("cold_start_burst", "crossfilter_storm", "mixed_dashboards")
+CONCURRENCY_SCENARIOS = (
+    "cold_start_burst",
+    "crossfilter_storm",
+    "sliding_brush",
+    "mixed_dashboards",
+)
 
 #: Shared parameter pools — small on purpose, so concurrent sessions
 #: frequently land on identical queries (the interesting regime).
@@ -54,6 +65,17 @@ _DISTANCE_LIMITS = (500, 1000, 2000, 3000)
 def _carrier_dashboard(threshold: int) -> str:
     return (
         "SELECT carrier, COUNT(*) AS n, AVG(delay) AS avg_delay "
+        f"FROM flights WHERE dep_delay >= {threshold} "
+        "GROUP BY carrier ORDER BY carrier"
+    )
+
+
+def _brush_dashboard(threshold: int) -> str:
+    # Integer-exact aggregates (COUNT, SUM over integer-valued distance)
+    # with a full ORDER BY over the group key: row-identical between the
+    # IVM maintenance path and plain re-execution on every backend.
+    return (
+        "SELECT carrier, COUNT(*) AS n, SUM(distance) AS total_distance "
         f"FROM flights WHERE dep_delay >= {threshold} "
         "GROUP BY carrier ORDER BY carrier"
     )
@@ -105,6 +127,19 @@ def build_sessions(
             _COLD_START_QUERIES
         )
         return [list(burst) for _ in range(n_sessions)]
+
+    if scenario == "sliding_brush":
+        # Thresholds are distinct across every (session, step) pair and
+        # monotone within a session: each step is a genuinely new query,
+        # so the scheduler cannot coalesce it and the result cache cannot
+        # serve it — the measured cost is the per-interaction cost.
+        return [
+            [
+                _brush_dashboard(-10 + session_index + n_sessions * step)
+                for step in range(queries_per_session)
+            ]
+            for session_index in range(n_sessions)
+        ]
 
     sessions: list[list[str]] = []
     for session_index in range(n_sessions):

@@ -211,9 +211,14 @@ def rows_match(left: list[dict[str, object]], right: list[dict[str, object]]) ->
 
 
 def _build_backend(backend: str, workers: int) -> SQLBackend:
+    # IVM stays off on both legs: the sweep measures scan execution
+    # (flat serial vs partitioned parallel), and the repeated query mix
+    # would otherwise be answered from maintained views on both sides,
+    # compressing the ratio toward 1.  The IVM axis has its own sweep
+    # (repro.bench.ivm).
     if backend == "embedded":
-        return EmbeddedBackend(Database(parallelism=workers, keep_query_log=False))
-    return create_backend(backend)
+        return EmbeddedBackend(Database(parallelism=workers, keep_query_log=False, ivm=False))
+    return create_backend(backend, ivm=False)
 
 
 def run_scale_point(

@@ -23,6 +23,7 @@ dashboard session.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
@@ -226,6 +227,10 @@ class AdaptivePolicy(PlanPolicy):
         self.replan_events: list[ReplanEvent] = []
         self.last_observed_seconds = 0.0
         self.last_predicted_seconds = 0.0
+        #: Per-query-shape execution-arm routing (IVM vs re-scan vs
+        #: offload).  The serving tier plugs this into the engine's IVM
+        #: manager so the adaptive policy owns the third plan dimension.
+        self.arms = ArmSelector()
 
     # ------------------------------------------------------------------ #
     def begin(
@@ -409,4 +414,90 @@ class AdaptivePolicy(PlanPolicy):
             "regret_threshold": self.regret_threshold,
             "last_observed_seconds": self.last_observed_seconds,
             "last_predicted_seconds": self.last_predicted_seconds,
+            "arms": self.arms.counters(),
         }
+
+
+# --------------------------------------------------------------------------- #
+# Execution-arm selection (IVM vs re-scan vs offload)
+# --------------------------------------------------------------------------- #
+
+#: The execution arms a query shape can be routed to: answer from an
+#: incrementally maintained view, re-scan locally, or offload to the
+#: server-side backend (the source paper's offload-vs-local decision).
+EXECUTION_ARMS = ("ivm", "rescan", "offload")
+
+
+class ArmSelector:
+    """Learned per-query-shape routing between execution arms.
+
+    The IVM subsystem gives the runtime a genuinely new plan dimension:
+    for every *query shape* (view key), answering from the maintained
+    view competes with a full re-scan (and, at the serving tier, with
+    offloading).  The selector keeps an EWMA of observed latency per
+    ``(shape, arm)`` and greedily routes each shape to its fastest arm,
+    after pulling every offered arm once; every ``probe_interval``-th
+    decision re-probes the least-pulled arm so a drifting workload
+    (table growth, brush pattern change) can flip the choice back.
+
+    Deterministic by construction (no randomness) and thread-safe: the
+    serving tier consults one selector from many sessions.  Instances
+    plug directly into :attr:`repro.sql.ivm.IVMManager.arm_selector`.
+    """
+
+    def __init__(self, alpha: float = 0.3, probe_interval: int = 50) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise OptimizationError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.probe_interval = probe_interval
+        self._ewma: dict[tuple[str, str], float] = {}
+        self._pulls: dict[tuple[str, str], int] = {}
+        self._decisions: dict[str, int] = {}
+        self._lock = threading.RLock()
+
+    def choose(self, shape: str, arms: Sequence[str]) -> str:
+        """Pick the arm to run ``shape`` on this time."""
+        with self._lock:
+            count = self._decisions.get(shape, 0) + 1
+            self._decisions[shape] = count
+            for arm in arms:
+                if self._pulls.get((shape, arm), 0) == 0:
+                    return arm
+            if self.probe_interval and count % self.probe_interval == 0:
+                return min(arms, key=lambda arm: self._pulls[(shape, arm)])
+            return min(arms, key=lambda arm: self._ewma[(shape, arm)])
+
+    def record(self, shape: str, arm: str, seconds: float) -> None:
+        """Fold one observed latency into the ``(shape, arm)`` estimate."""
+        with self._lock:
+            key = (shape, arm)
+            self._pulls[key] = self._pulls.get(key, 0) + 1
+            previous = self._ewma.get(key)
+            if previous is None:
+                self._ewma[key] = float(seconds)
+            else:
+                self._ewma[key] = (
+                    1.0 - self.alpha
+                ) * previous + self.alpha * float(seconds)
+
+    def preferred(self, shape: str) -> str | None:
+        """The currently fastest observed arm for ``shape`` (or ``None``)."""
+        with self._lock:
+            known = [
+                (ewma, arm)
+                for (s, arm), ewma in self._ewma.items()
+                if s == shape
+            ]
+            return min(known)[1] if known else None
+
+    def counters(self) -> dict[str, object]:
+        """Observability snapshot for ``VegaPlusSystem.stats()``."""
+        with self._lock:
+            pulls_by_arm: dict[str, int] = {}
+            for (_, arm), pulls in self._pulls.items():
+                pulls_by_arm[arm] = pulls_by_arm.get(arm, 0) + pulls
+            return {
+                "shapes": len(self._decisions),
+                "decisions": sum(self._decisions.values()),
+                "pulls": pulls_by_arm,
+            }

@@ -142,6 +142,13 @@ class VegaPlusSystem:
         self.comparator = comparator or HeuristicComparator()
         self.policy = policy or StaticPolicy()
         self.feedback = feedback or getattr(middleware, "feedback", None)
+        # Policies that carry an execution-arm selector (AdaptivePolicy)
+        # take over the backend's IVM-vs-re-scan routing: the selector
+        # learns per query shape from the latencies the engine reports.
+        arms = getattr(self.policy, "arms", None)
+        ivm = getattr(self.database, "ivm", None)
+        if arms is not None and ivm is not None:
+            ivm.arm_selector = arms
         self.optimizer = VegaPlusOptimizer(
             self.spec,
             self.middleware,
@@ -329,7 +336,10 @@ class VegaPlusSystem:
         reach into four subsystems for one health check.  Backends that
         report partitioned-execution counters additionally get a
         ``partitioning`` section (partitions scanned vs pruned by zone
-        maps, the derived pruning rate, and morsel tasks run).
+        maps, the derived pruning rate, and morsel tasks run), and
+        backends with IVM counters get an ``ivm`` section (views
+        maintained, hits, delta rows vs re-scan rows avoided, MIN/MAX
+        retraction fallbacks, invalidations).
         """
         engine = self.database.stats()
         stats: dict[str, object] = {
@@ -351,6 +361,20 @@ class VegaPlusSystem:
                 "partitions_pruned": pruned,
                 "pruning_rate": pruned / considered if considered else 0.0,
                 "morsel_tasks": float(engine.get("morsel_tasks", 0.0)),
+            }
+        if "ivm_hits" in engine:
+            delta = float(engine.get("ivm_delta_rows", 0.0))
+            avoided = float(engine.get("ivm_rescan_rows_avoided", 0.0))
+            considered = delta + avoided
+            stats["ivm"] = {
+                "views": float(engine.get("ivm_views", 0.0)),
+                "hits": float(engine.get("ivm_hits", 0.0)),
+                "delta_rows": delta,
+                "rescan_rows_avoided": avoided,
+                "delta_fraction": delta / considered if considered else 0.0,
+                "fallbacks": float(engine.get("ivm_fallbacks", 0.0)),
+                "fallback_rows": float(engine.get("ivm_fallback_rows", 0.0)),
+                "invalidations": float(engine.get("ivm_invalidations", 0.0)),
             }
         scheduler = getattr(self.middleware, "scheduler", None) or getattr(
             getattr(self.middleware, "middleware", None), "scheduler", None

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.sql.executor import ExecutionStats, Executor
 from repro.sql.explain import CostEstimator, QueryCostEstimate, query_shape
+from repro.sql.ivm import IVMConfig, IVMManager
 from repro.sql.morsel import MorselPool
 from repro.storage.statistics import CardinalityFeedback
 from repro.sql.optimizer import optimize_plan
@@ -79,6 +80,13 @@ class EngineMetrics:
     total_partitions_scanned: int = 0
     total_partitions_pruned: int = 0
     total_morsel_tasks: int = 0
+    ivm_views: int = 0
+    ivm_hits: int = 0
+    ivm_delta_rows: int = 0
+    ivm_rescan_rows_avoided: int = 0
+    ivm_fallbacks: int = 0
+    ivm_fallback_rows: int = 0
+    ivm_invalidations: int = 0
     query_log: list[str] = field(default_factory=list)
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
@@ -110,6 +118,33 @@ class EngineMetrics:
         with self._lock:
             self.plan_cache_misses += 1
 
+    def record_ivm_view(self) -> None:
+        """Count one materialized view registration."""
+        with self._lock:
+            self.ivm_views += 1
+
+    def record_ivm_hit(self, delta_rows: int, rows_avoided: int) -> None:
+        """Count one query answered from a maintained view.
+
+        ``delta_rows`` is how many rows entered/left the brush range;
+        ``rows_avoided`` is the full-scan row count the engine skipped.
+        """
+        with self._lock:
+            self.ivm_hits += 1
+            self.ivm_delta_rows += delta_rows
+            self.ivm_rescan_rows_avoided += rows_avoided
+
+    def record_ivm_fallback(self, count: int, rows: int) -> None:
+        """Count MIN/MAX retraction re-scans (and the rows they touched)."""
+        with self._lock:
+            self.ivm_fallbacks += count
+            self.ivm_fallback_rows += rows
+
+    def record_ivm_invalidations(self, count: int) -> None:
+        """Count views dropped by a catalog re-register/drop."""
+        with self._lock:
+            self.ivm_invalidations += count
+
     def snapshot(self) -> dict[str, float]:
         """Current counter values as a flat mapping (for delta reporting)."""
         with self._lock:
@@ -126,6 +161,13 @@ class EngineMetrics:
                 "partitions_scanned": float(self.total_partitions_scanned),
                 "partitions_pruned": float(self.total_partitions_pruned),
                 "morsel_tasks": float(self.total_morsel_tasks),
+                "ivm_views": float(self.ivm_views),
+                "ivm_hits": float(self.ivm_hits),
+                "ivm_delta_rows": float(self.ivm_delta_rows),
+                "ivm_rescan_rows_avoided": float(self.ivm_rescan_rows_avoided),
+                "ivm_fallbacks": float(self.ivm_fallbacks),
+                "ivm_fallback_rows": float(self.ivm_fallback_rows),
+                "ivm_invalidations": float(self.ivm_invalidations),
             }
 
     def reset(self) -> None:
@@ -143,6 +185,13 @@ class EngineMetrics:
             self.total_partitions_scanned = 0
             self.total_partitions_pruned = 0
             self.total_morsel_tasks = 0
+            self.ivm_views = 0
+            self.ivm_hits = 0
+            self.ivm_delta_rows = 0
+            self.ivm_rescan_rows_avoided = 0
+            self.ivm_fallbacks = 0
+            self.ivm_fallback_rows = 0
+            self.ivm_invalidations = 0
             self.query_log.clear()
 
 
@@ -186,6 +235,12 @@ class Database:
         env or capped CPU count), ``1`` forces serial execution.  The
         pool is shared by every query this engine runs and is only
         started once a partitioned table is actually executed against.
+    ivm:
+        When True (default) eligible crossfilter-style queries are
+        answered by incrementally maintained materialized views (see
+        :mod:`repro.sql.ivm`); results are bit-identical to a full
+        re-scan by construction.  ``ivm_config`` overrides the view
+        registry's tunables.
     """
 
     def __init__(
@@ -193,6 +248,8 @@ class Database:
         keep_query_log: bool = True,
         plan_cache_size: int = 256,
         parallelism: int | None = None,
+        ivm: bool = True,
+        ivm_config: IVMConfig | None = None,
     ) -> None:
         self._catalog = Catalog()
         self._keep_query_log = keep_query_log
@@ -201,6 +258,11 @@ class Database:
         self._plan_cache_lock = threading.RLock()
         self.morsel_pool = MorselPool(parallelism)
         self.metrics = EngineMetrics()
+        self.ivm: IVMManager | None = (
+            IVMManager(self._catalog, metrics=self.metrics, config=ivm_config)
+            if ivm
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Table registration
@@ -326,10 +388,17 @@ class Database:
             result = QueryResult(sql=sql, table=table, elapsed_seconds=0.0, stats=ExecutionStats())
             self.metrics.record(result, self._keep_query_log)
             return result
-        executor = Executor(self._catalog, pool=self.morsel_pool)
         start = time.perf_counter()
-        table, stats = executor.execute(plan)
+        attempt = self.ivm.attempt(plan) if self.ivm is not None else None
+        if attempt is not None and attempt.table is not None:
+            table, stats = attempt.table, attempt.stats
+        else:
+            executor = Executor(self._catalog, pool=self.morsel_pool)
+            table, stats = executor.execute(plan)
         elapsed = time.perf_counter() - start
+        if attempt is not None:
+            # Either arm's observed latency teaches the per-shape selector.
+            self.ivm.observe(attempt, elapsed)
         result = QueryResult(sql=sql, table=table, elapsed_seconds=elapsed, stats=stats)
         self.metrics.record(result, self._keep_query_log)
         return result

@@ -47,6 +47,7 @@ from repro.sql.planner import (
     FilterNode,
     LimitNode,
     LogicalPlan,
+    MaterializedNode,
     PartitionablePrefix,
     PlanNode,
     ProjectNode,
@@ -427,11 +428,25 @@ class Executor:
         stats.rows_output = table.num_rows
         return table, stats
 
+    def execute_subtree(self, node: PlanNode, stats: ExecutionStats) -> Table:
+        """Execute a plan subtree, accumulating into an existing ``stats``.
+
+        The IVM maintenance path uses this to replay a plan's suffix
+        operators (HAVING / DISTINCT / ORDER BY / LIMIT) over a
+        :class:`~repro.sql.planner.MaterializedNode` carrying the
+        incrementally maintained aggregate rows.
+        """
+        return self._execute_node(node, stats)
+
     # -------------------------------------------------------------- #
     def _execute_node(self, node: PlanNode, stats: ExecutionStats) -> Table:
         partitioned = self._try_partitioned(node, stats)
         if partitioned is not None:
             return partitioned
+        if isinstance(node, MaterializedNode):
+            table: Table = node.table
+            stats.record(table.num_rows)
+            return table
         if isinstance(node, ScanNode):
             table = self._catalog.get(node.table_name)
             stats.rows_scanned += table.num_rows

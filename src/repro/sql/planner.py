@@ -13,9 +13,13 @@ from dataclasses import dataclass, field
 
 from repro.errors import PlanningError
 from repro.sql.ast_nodes import (
+    AGGREGATE_FUNCTIONS,
+    Between,
     BinaryOp,
     ColumnRef,
     Expression,
+    FunctionCall,
+    Literal,
     OrderItem,
     SelectItem,
     SelectStatement,
@@ -168,6 +172,24 @@ class DistinctNode(PlanNode):
 
     def children(self) -> list[PlanNode]:
         return [self.child]
+
+
+@dataclass
+class MaterializedNode(PlanNode):
+    """A leaf carrying an already-computed result table.
+
+    The IVM maintenance path replaces an eligible plan's aggregate
+    subtree with this node so the plan's suffix operators (HAVING /
+    DISTINCT / ORDER BY / LIMIT) run unchanged over the incrementally
+    maintained aggregate rows.  ``table`` is duck-typed to avoid a
+    planner -> storage import; the executor treats it as a
+    :class:`~repro.storage.table.Table`.
+    """
+
+    table: object = None
+
+    def label(self) -> str:
+        return f"Materialized(rows={getattr(self.table, 'num_rows', '?')})"
 
 
 @dataclass
@@ -425,4 +447,249 @@ def partitionable_prefix(node: PlanNode) -> PartitionablePrefix | None:
             break
     return PartitionablePrefix(
         scan=scan, nodes=tuple(chain), scan_filters=tuple(scan_filters)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Incremental view maintenance eligibility analysis
+# --------------------------------------------------------------------------- #
+
+#: Aggregates the IVM subsystem can maintain under insert/delete deltas.
+#: MIN/MAX are incrementable with a retraction fallback (deleting the
+#: current extremum forces a partial re-scan); AVG is maintained as
+#: SUM + COUNT.  See docs/IVM.md for the delta algebra.
+INCREMENTABLE_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+@dataclass(frozen=True)
+class BrushInterval:
+    """A one-dimensional selection ``[low, high]`` on the brush column.
+
+    ``None`` bounds are unbounded.  The interval is the intersection of
+    every range conjunct on the brush column, so a contradictory WHERE
+    clause yields an interval whose :meth:`is_empty` is true.
+    """
+
+    low: float | None = None
+    high: float | None = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    def is_empty(self) -> bool:
+        """Whether no value can satisfy the interval."""
+        if self.low is None or self.high is None:
+            return False
+        if self.low > self.high:
+            return True
+        return self.low == self.high and not (
+            self.low_inclusive and self.high_inclusive
+        )
+
+
+@dataclass(frozen=True)
+class IVMTemplate:
+    """An eligible crossfilter query shape: what varies is only the brush.
+
+    The template splits an ``Aggregate(Filter(Scan))`` plan (plus an
+    optional HAVING/DISTINCT/ORDER BY/LIMIT suffix) into the parts the
+    IVM view is keyed on (table, static conjuncts, group keys, items)
+    and the part that changes between interactions (the brush interval).
+    Two queries with the same :attr:`view_key` can share one
+    materialized view; only the delta between their brush intervals is
+    scanned.
+    """
+
+    table_name: str
+    brush_column: str
+    interval: BrushInterval
+    #: Conjuncts that do not move with the brush, evaluated once per view.
+    static_conjuncts: tuple[Expression, ...]
+    aggregate: AggregateNode
+    #: Plan nodes above the aggregate, listed bottom-up (aggregate side
+    #: first).  Replayed over the materialized rows on every query.
+    suffix: tuple[PlanNode, ...]
+
+    @property
+    def view_key(self) -> str:
+        """Cache key shared by every brush position of this query shape."""
+        static = ";".join(sorted(str(c) for c in self.static_conjuncts))
+        group = ";".join(str(e) for e in self.aggregate.group_by)
+        items = ";".join(
+            f"{item.expression}|{item.alias or ''}" for item in self.aggregate.items
+        )
+        return (
+            f"{self.table_name}§brush={self.brush_column}"
+            f"§static={static}§group={group}§items={items}"
+        )
+
+
+def _numeric_literal(expr: Expression) -> float | None:
+    """The float value of a numeric (non-boolean) literal, else ``None``."""
+    if isinstance(expr, Literal) and isinstance(expr.value, (int, float)):
+        if isinstance(expr.value, bool):
+            return None
+        return float(expr.value)
+    return None
+
+
+_FLIPPED_COMPARISONS = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+def _range_conjunct(expr: Expression) -> tuple[str, BrushInterval] | None:
+    """Match ``column <op> literal`` / ``BETWEEN`` range constraints.
+
+    Returns ``(column, interval)`` for simple numeric range comparisons
+    on a bare column — the shapes a 1-D brush emits — and ``None`` for
+    everything else (those conjuncts are static).
+    """
+    if isinstance(expr, Between) and not expr.negated:
+        if not isinstance(expr.expr, ColumnRef):
+            return None
+        low = _numeric_literal(expr.low)
+        high = _numeric_literal(expr.high)
+        if low is None or high is None:
+            return None
+        return expr.expr.name, BrushInterval(low=low, high=high)
+    if not isinstance(expr, BinaryOp) or expr.op not in _FLIPPED_COMPARISONS:
+        return None
+    column, op, value = None, expr.op, None
+    if isinstance(expr.left, ColumnRef):
+        column, value = expr.left.name, _numeric_literal(expr.right)
+    elif isinstance(expr.right, ColumnRef):
+        column, value = expr.right.name, _numeric_literal(expr.left)
+        op = _FLIPPED_COMPARISONS[op]
+    if column is None or value is None:
+        return None
+    if op == "=":
+        return column, BrushInterval(low=value, high=value)
+    if op in (">", ">="):
+        return column, BrushInterval(low=value, low_inclusive=op == ">=")
+    return column, BrushInterval(high=value, high_inclusive=op == "<=")
+
+
+def _intersect_intervals(a: BrushInterval, b: BrushInterval) -> BrushInterval:
+    low, low_inc = a.low, a.low_inclusive
+    if b.low is not None and (low is None or b.low > low):
+        low, low_inc = b.low, b.low_inclusive
+    elif b.low is not None and b.low == low:
+        low_inc = low_inc and b.low_inclusive
+    high, high_inc = a.high, a.high_inclusive
+    if b.high is not None and (high is None or b.high < high):
+        high, high_inc = b.high, b.high_inclusive
+    elif b.high is not None and b.high == high:
+        high_inc = high_inc and b.high_inclusive
+    return BrushInterval(low, high, low_inc, high_inc)
+
+
+def _predicate_conjuncts(expr: Expression) -> list[Expression]:
+    """Flatten a top-level AND tree into its conjuncts."""
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _predicate_conjuncts(expr.left) + _predicate_conjuncts(expr.right)
+    return [expr]
+
+
+def _matches_group_key(expr: Expression, aggregate: AggregateNode) -> bool:
+    """Whether ``expr`` is constant within every group of ``aggregate``."""
+    group_strs = {str(g) for g in aggregate.group_by}
+    if str(expr) in group_strs:
+        return True
+    if isinstance(expr, ColumnRef):
+        return any(
+            isinstance(g, ColumnRef) and g.name == expr.name
+            for g in aggregate.group_by
+        )
+    return False
+
+
+def _incrementable_expression(expr: Expression, aggregate: AggregateNode) -> bool:
+    """Whether one SELECT-item expression is maintainable from deltas.
+
+    Leaves must be incrementable aggregate calls, literals, or
+    group-key expressions (constant per group); combinations are limited
+    to the scalar arithmetic the serial aggregate evaluator supports.
+    """
+    if contains_window(expr):
+        return False
+    if isinstance(expr, FunctionCall) and expr.name.upper() in AGGREGATE_FUNCTIONS:
+        if expr.name.upper() not in INCREMENTABLE_AGGREGATES or expr.distinct:
+            return False
+        if expr.is_star:
+            return True
+        if len(expr.args) != 1:
+            return False
+        arg = expr.args[0]
+        return not contains_aggregate(arg) and not isinstance(arg, Star)
+    if isinstance(expr, BinaryOp):
+        return _incrementable_expression(
+            expr.left, aggregate
+        ) and _incrementable_expression(expr.right, aggregate)
+    if isinstance(expr, UnaryOp):
+        return expr.op == "-" and _incrementable_expression(expr.operand, aggregate)
+    if isinstance(expr, Literal):
+        return True
+    # A bare non-aggregate expression: safe only when it is one of the
+    # group keys (the serial executor emits each group's first-row value,
+    # which for a key expression *is* the group's key value).
+    return not contains_aggregate(expr) and _matches_group_key(expr, aggregate)
+
+
+def ivm_template(plan: LogicalPlan) -> IVMTemplate | None:
+    """Match the IVM-eligible shape ``suffix* → Aggregate → Filter → Scan``.
+
+    Returns ``None`` when the plan is not a single-table filtered
+    aggregation, when the WHERE clause has no numeric range conjunct to
+    act as the brush, or when any SELECT item is not maintainable from
+    deltas (non-incrementable aggregate, DISTINCT aggregate, window
+    function, expression that is neither a group key nor an aggregate).
+    """
+    if plan.explain:
+        return None
+    suffix: list[PlanNode] = []
+    node = plan.root
+    # Any FilterNode above the aggregate is necessarily HAVING: WHERE
+    # filters sit below the AggregateNode, where this walk stops.
+    while isinstance(node, (LimitNode, SortNode, DistinctNode, FilterNode)):
+        suffix.append(node)
+        node = node.child
+    if not isinstance(node, AggregateNode):
+        return None
+    aggregate = node
+    if not all(
+        _incrementable_expression(item.expression, aggregate)
+        for item in aggregate.items
+    ):
+        return None
+    if any(contains_aggregate(g) or contains_window(g) for g in aggregate.group_by):
+        return None
+    where = aggregate.child
+    if not isinstance(where, FilterNode) or not isinstance(where.child, ScanNode):
+        return None
+    scan = where.child
+    brush_column: str | None = None
+    interval = BrushInterval()
+    static: list[Expression] = []
+    for conjunct in _predicate_conjuncts(where.predicate):
+        matched = _range_conjunct(conjunct)
+        if matched is None:
+            static.append(conjunct)
+            continue
+        column, conjunct_interval = matched
+        if brush_column is None:
+            brush_column = column
+        if column == brush_column:
+            interval = _intersect_intervals(interval, conjunct_interval)
+        else:
+            # Range constraints on a second column: a 2-D brush.  The
+            # first column stays the tile dimension; the others fold
+            # into the static conjuncts (a new view per distinct value).
+            static.append(conjunct)
+    if brush_column is None:
+        return None
+    return IVMTemplate(
+        table_name=scan.table_name,
+        brush_column=brush_column,
+        interval=interval,
+        static_conjuncts=tuple(static),
+        aggregate=aggregate,
+        suffix=tuple(suffix),
     )

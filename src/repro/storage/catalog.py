@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import threading
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.errors import CatalogError
 from repro.storage.statistics import (
@@ -32,7 +32,27 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._statistics: dict[str, TableStatistics] = {}
         self._zone_maps: dict[str, list[ZoneMap]] = {}
+        self._listeners: list[Callable[[str], None]] = []
         self._lock = threading.RLock()
+
+    def add_invalidation_listener(self, listener: Callable[[str], None]) -> None:
+        """Subscribe to table invalidation events.
+
+        ``listener(name)`` fires whenever the contents registered under
+        ``name`` stop being valid — on re-registration (``replace=True``)
+        and on :meth:`drop` — in the same breath as the catalog's own
+        statistics/zone-map cache invalidation.  Derived caches (the IVM
+        view registry) hook in here so a table swap can never serve
+        results maintained against the old rows.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def _notify_invalidation(self, name: str) -> None:
+        # Called outside the catalog lock: listeners take their own locks
+        # and may re-enter the catalog, so nesting would invite deadlock.
+        for listener in list(self._listeners):
+            listener(name)
 
     def register(self, name: str, table: Table, replace: bool = False) -> None:
         """Register ``table`` under ``name``.
@@ -46,9 +66,12 @@ class Catalog:
         with self._lock:
             if name in self._tables and not replace:
                 raise CatalogError(f"table {name!r} already registered (pass replace=True)")
+            replaced = name in self._tables
             self._tables[name] = table.renamed(name)
             self._statistics.pop(name, None)
             self._zone_maps.pop(name, None)
+        if replaced:
+            self._notify_invalidation(name)
 
     def register_rows(
         self,
@@ -68,6 +91,7 @@ class Catalog:
             del self._tables[name]
             self._statistics.pop(name, None)
             self._zone_maps.pop(name, None)
+        self._notify_invalidation(name)
 
     def get(self, name: str) -> Table:
         """Look up a table by name."""

@@ -1,0 +1,474 @@
+"""Incremental view maintenance: the brush-sequence differential harness.
+
+The IVM contract is *bit-identity*: every query answered from a
+maintained view must return exactly the rows (``==``, no tolerance) a
+full re-execution returns.  The hypothesis suites here drive random
+brush trajectories — monotone ascending, descending, and jumping, with
+brushes that empty out and refill — over random datasets and group keys,
+comparing an IVM-enabled engine against an IVM-disabled one row for row
+at every step, on every backend.
+
+Also covered: the MIN/MAX retraction fallback (with pinned
+:class:`~repro.sql.engine.EngineMetrics` counters), catalog invalidation
+on re-register/drop, suffix replay (HAVING / ORDER BY / LIMIT),
+eligibility negatives, and the :class:`~repro.core.policy.ArmSelector`
+plan arm.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backends import backend_names, create_backend
+from repro.core.policy import EXECUTION_ARMS, AdaptivePolicy, ArmSelector
+from repro.core.system import VegaPlusSystem
+from repro.errors import OptimizationError
+from repro.sql import Database
+from repro.sql.ivm import IVMConfig, IVMManager
+from repro.sql.parser import parse_sql
+from repro.sql.planner import build_logical_plan, ivm_template
+
+settings.register_profile(
+    "repro", deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=30
+)
+settings.load_profile("repro")
+
+#: IVM engages on first sight, so short trajectories exercise maintenance.
+_EAGER = IVMConfig(register_after=1)
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+# Integer-valued aggregate arguments keep SUM/AVG views eligible (exact
+# summation); the brush dimension shares the integer grid so brush edges
+# frequently land exactly on data values — the interesting boundary case.
+_row = st.fixed_dictionaries(
+    {
+        "g": st.sampled_from(["a", "b", "c", None]),
+        "v": st.integers(min_value=-1_000, max_value=1_000),
+        "b": st.integers(min_value=-20, max_value=20),
+    }
+)
+_rows = st.lists(_row, min_size=1, max_size=50)
+
+# Thresholds deliberately overshoot the data range on both sides, so
+# trajectories include brushes that select nothing and then refill.
+_thresholds = st.lists(st.integers(min_value=-25, max_value=25), min_size=2, max_size=8)
+
+_order = st.sampled_from(["asc", "desc", "jump"])
+
+_ALL_AGGREGATES = (
+    "COUNT(*) AS n, SUM(v) AS s, AVG(v) AS mean, MIN(v) AS lo, MAX(v) AS hi"
+)
+
+
+def _ordered(thresholds: list[int], order: str) -> list[int]:
+    if order == "asc":
+        return sorted(thresholds)
+    if order == "desc":
+        return sorted(thresholds, reverse=True)
+    return thresholds
+
+
+def _assert_differential(queries: list[str], rows: list[dict], backend: str = "embedded"):
+    """Every query must return identical rows with and without IVM."""
+    ivm_backend = create_backend(backend, ivm_config=_EAGER)
+    plain = create_backend(backend, ivm=False)
+    try:
+        for db in (ivm_backend, plain):
+            db.register_rows("t", rows, column_order=["g", "v", "b"])
+        for sql in queries:
+            assert ivm_backend.execute(sql).to_rows() == plain.execute(sql).to_rows(), sql
+        return ivm_backend.metrics.snapshot()
+    finally:
+        ivm_backend.close()
+        plain.close()
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis: brush-trajectory differential (the tentpole harness)
+# --------------------------------------------------------------------------- #
+
+
+@given(rows=_rows, thresholds=_thresholds, order=_order)
+def test_brush_trajectory_differential(rows, thresholds, order):
+    """One-sided brush sweeps: IVM rows == re-scan rows at every step."""
+    queries = [
+        f"SELECT g, {_ALL_AGGREGATES} FROM t WHERE b >= {t} GROUP BY g"
+        for t in _ordered(thresholds, order)
+    ]
+    metrics = _assert_differential(queries, rows)
+    # The maintenance path must actually have served the trajectory.
+    assert metrics["ivm_hits"] >= len(queries) - 1
+
+
+@given(rows=_rows, thresholds=_thresholds, order=_order, width=st.integers(1, 10))
+def test_brush_interval_differential(rows, thresholds, order, width):
+    """Two-sided (BETWEEN) brushes, including empty and refilled windows."""
+    queries = [
+        f"SELECT g, {_ALL_AGGREGATES} FROM t "
+        f"WHERE b BETWEEN {t} AND {t + width} GROUP BY g"
+        for t in _ordered(thresholds, order)
+    ]
+    metrics = _assert_differential(queries, rows)
+    assert metrics["ivm_hits"] >= len(queries) - 1
+
+
+@given(rows=_rows, thresholds=_thresholds)
+def test_global_aggregate_differential(rows, thresholds):
+    """No GROUP BY: the view emits exactly one row even over empty brushes."""
+    queries = [
+        f"SELECT {_ALL_AGGREGATES} FROM t WHERE b >= {t}" for t in thresholds
+    ]
+    metrics = _assert_differential(queries, rows)
+    assert metrics["ivm_hits"] >= len(queries) - 1
+
+
+@settings(max_examples=15)
+@pytest.mark.parametrize("backend", backend_names())
+@given(rows=_rows, thresholds=_thresholds, order=_order)
+def test_brush_trajectory_differential_backends(backend, rows, thresholds, order):
+    """Both backends: strict-mode shapes (ORDER BY over the full group key,
+    no NULL keys) maintain identically to their own re-execution."""
+    rows = [dict(row, g=row["g"] or "z") for row in rows]
+    queries = [
+        f"SELECT g, {_ALL_AGGREGATES} FROM t WHERE b >= {t} "
+        "GROUP BY g ORDER BY g"
+        for t in _ordered(thresholds, order)
+    ]
+    metrics = _assert_differential(queries, rows, backend=backend)
+    assert metrics["ivm_hits"] >= len(queries) - 1
+
+
+# --------------------------------------------------------------------------- #
+# Suffix replay above the maintained aggregate
+# --------------------------------------------------------------------------- #
+
+
+def test_having_order_limit_suffix_replayed():
+    rows = [
+        {"g": name, "v": value, "b": value}
+        for value, name in enumerate(["a", "a", "a", "b", "b", "c", "d", "d"])
+    ]
+    queries = [
+        f"SELECT g, COUNT(*) AS n FROM t WHERE b >= {t} "
+        "GROUP BY g HAVING COUNT(*) >= 1 ORDER BY n DESC, g LIMIT 2"
+        for t in (-1, 2, 5, 0, 9)
+    ]
+    metrics = _assert_differential(queries, rows)
+    assert metrics["ivm_hits"] >= len(queries) - 1
+
+
+# --------------------------------------------------------------------------- #
+# MIN/MAX retraction fallback (pinned metrics)
+# --------------------------------------------------------------------------- #
+
+
+def _extremum_db() -> tuple[Database, Database]:
+    # v is minimal at b=0 and maximal at b=9, so a brush edge crossing
+    # either endpoint retracts the current extremum.
+    rows = [{"b": b, "v": [1, 5, 6, 7, 8, 9, 10, 11, 12, 13][b]} for b in range(10)]
+    ivm_db = Database(ivm_config=_EAGER)
+    plain = Database(ivm=False)
+    for db in (ivm_db, plain):
+        db.register_rows("t", rows, column_order=["b", "v"])
+    return ivm_db, plain
+
+
+def test_min_retraction_triggers_partial_rescan():
+    """Brushing out the current minimum re-scans the remaining range."""
+    ivm_db, plain = _extremum_db()
+    sql = "SELECT MIN(v) AS lo, MAX(v) AS hi FROM t WHERE b >= {}"
+    assert ivm_db.execute(sql.format(0)).table.to_rows() == [{"lo": 1, "hi": 13}]
+    # b=0 (v=1, the minimum) leaves; the max (b=9) stays in range.
+    assert (
+        ivm_db.execute(sql.format(1)).table.to_rows()
+        == plain.execute(sql.format(1)).table.to_rows()
+        == [{"lo": 5, "hi": 13}]
+    )
+    snapshot = ivm_db.metrics.snapshot()
+    # Exactly one refreshing aggregate (MIN), re-scanning the 9 in-range rows.
+    assert snapshot["ivm_fallbacks"] == 1
+    assert snapshot["ivm_fallback_rows"] == 9
+
+
+def test_max_retraction_triggers_partial_rescan():
+    ivm_db, plain = _extremum_db()
+    sql = "SELECT MIN(v) AS lo, MAX(v) AS hi FROM t WHERE b <= {}"
+    assert ivm_db.execute(sql.format(9)).table.to_rows() == [{"lo": 1, "hi": 13}]
+    # b=9 (v=13, the maximum) leaves; the min (b=0) stays in range.
+    assert (
+        ivm_db.execute(sql.format(8)).table.to_rows()
+        == plain.execute(sql.format(8)).table.to_rows()
+        == [{"lo": 1, "hi": 12}]
+    )
+    snapshot = ivm_db.metrics.snapshot()
+    assert snapshot["ivm_fallbacks"] == 1
+    assert snapshot["ivm_fallback_rows"] == 9
+
+
+def test_emptied_brush_needs_no_fallback_rescan():
+    """Dropping every row zeroes the extremum without a re-scan, and the
+    refilled brush rebuilds it from entering rows alone."""
+    ivm_db, plain = _extremum_db()
+    sql = "SELECT MIN(v) AS lo, MAX(v) AS hi FROM t WHERE b >= {}"
+    for threshold in (0, 100, 0):
+        assert (
+            ivm_db.execute(sql.format(threshold)).table.to_rows()
+            == plain.execute(sql.format(threshold)).table.to_rows()
+        )
+    snapshot = ivm_db.metrics.snapshot()
+    assert snapshot["ivm_fallbacks"] == 0
+    assert snapshot["ivm_hits"] == 3
+
+
+# --------------------------------------------------------------------------- #
+# Catalog invalidation: views, statistics and results together
+# --------------------------------------------------------------------------- #
+
+
+def _brush_rows(values: list[int]) -> list[dict]:
+    return [{"g": "x" if v % 2 else "y", "v": v, "b": v} for v in values]
+
+
+def test_reregister_invalidates_views_and_statistics():
+    db = Database(ivm_config=_EAGER)
+    db.register_rows("t", _brush_rows([1, 2, 3, 4]), column_order=["g", "v", "b"])
+    sql = "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM t WHERE b >= {} GROUP BY g"
+    db.execute(sql.format(0))
+    db.execute(sql.format(2))
+    assert db.ivm.view_count() == 1
+    assert db.table_statistics("t").num_rows == 4
+
+    db.register_rows(
+        "t", _brush_rows([10, 20, 30]), replace=True, column_order=["g", "v", "b"]
+    )
+    # The stale view is gone, the statistics cache re-derives from the new
+    # table, and the next brush answers from the new data.
+    assert db.ivm.view_count() == 0
+    assert db.metrics.snapshot()["ivm_invalidations"] == 1
+    assert db.table_statistics("t").num_rows == 3
+    fresh = Database(ivm=False)
+    fresh.register_rows("t", _brush_rows([10, 20, 30]), column_order=["g", "v", "b"])
+    for threshold in (0, 15, 25):
+        assert (
+            db.execute(sql.format(threshold)).table.to_rows()
+            == fresh.execute(sql.format(threshold)).table.to_rows()
+        )
+
+
+def test_drop_table_invalidates_views():
+    db = Database(ivm_config=_EAGER)
+    db.register_rows("t", _brush_rows([1, 2, 3]), column_order=["g", "v", "b"])
+    db.execute("SELECT g, COUNT(*) AS n FROM t WHERE b >= 1 GROUP BY g")
+    assert db.ivm.view_count() == 1
+    db.drop_table("t")
+    assert db.ivm.view_count() == 0
+    assert db.metrics.snapshot()["ivm_invalidations"] == 1
+
+
+def test_sqlite_reregister_invalidates_views():
+    backend = create_backend("sqlite", ivm_config=_EAGER)
+    try:
+        backend.register_rows("t", _brush_rows([1, 2, 3, 4]), column_order=["g", "v", "b"])
+        sql = "SELECT g, COUNT(*) AS n FROM t WHERE b >= {} GROUP BY g ORDER BY g"
+        backend.execute(sql.format(0))
+        backend.execute(sql.format(2))
+        assert backend.ivm.view_count() == 1
+        backend.register_rows(
+            "t", _brush_rows([5, 6]), replace=True, column_order=["g", "v", "b"]
+        )
+        assert backend.ivm.view_count() == 0
+        plain = create_backend("sqlite", ivm=False)
+        try:
+            plain.register_rows("t", _brush_rows([5, 6]), column_order=["g", "v", "b"])
+            assert (
+                backend.execute(sql.format(0)).to_rows()
+                == plain.execute(sql.format(0)).to_rows()
+            )
+        finally:
+            plain.close()
+    finally:
+        backend.close()
+
+
+# --------------------------------------------------------------------------- #
+# Eligibility negatives: ineligible shapes/data must never engage
+# --------------------------------------------------------------------------- #
+
+
+def _hits_after(queries: list[str], rows: list[dict]) -> float:
+    db = Database(ivm_config=_EAGER)
+    db.register_rows("t", rows, column_order=list(rows[0]))
+    for sql in queries:
+        db.execute(sql)
+    return db.metrics.snapshot()["ivm_hits"]
+
+
+def test_non_integer_sum_declines():
+    """SUM over non-integer floats cannot guarantee bit-identity: no hits."""
+    rows = [{"g": "a", "v": 0.1 * i, "b": float(i)} for i in range(20)]
+    queries = [
+        f"SELECT g, SUM(v) AS s FROM t WHERE b >= {t} GROUP BY g" for t in (1, 2, 3)
+    ]
+    assert _hits_after(queries, rows) == 0
+
+
+def test_ineligible_aggregates_decline():
+    rows = [{"g": "a", "v": i, "b": i} for i in range(20)]
+    for item in ("MEDIAN(v) AS m", "COUNT(DISTINCT v) AS d", "STDDEV(v) AS s"):
+        queries = [
+            f"SELECT g, {item} FROM t WHERE b >= {t} GROUP BY g" for t in (1, 2, 3)
+        ]
+        assert _hits_after(queries, rows) == 0
+
+
+def test_template_requires_range_predicate():
+    """Queries without a brushable range conjunct produce no template."""
+    plan = build_logical_plan(
+        parse_sql("SELECT g, COUNT(*) AS n FROM t WHERE g = 'a' GROUP BY g")
+    )
+    assert ivm_template(plan) is None
+
+
+def test_view_key_excludes_brush_literals():
+    """Successive brush steps share one view; ORDER BY variants do not
+    perturb the aggregate state key either."""
+
+    def key(sql: str) -> str:
+        return ivm_template(build_logical_plan(parse_sql(sql))).view_key
+
+    base = "SELECT g, COUNT(*) AS n FROM t WHERE b >= {} GROUP BY g"
+    assert key(base.format(1)) == key(base.format(2))
+    assert key(base.format(1)) == key(base.format(1) + " ORDER BY g")
+
+
+# --------------------------------------------------------------------------- #
+# The IVM plan arm (ArmSelector)
+# --------------------------------------------------------------------------- #
+
+
+def test_arm_selector_probes_then_routes_greedily():
+    selector = ArmSelector()
+    shape = "flights§brush=dep_delay"
+    # Every offered arm is pulled once before any greedy routing.
+    assert selector.choose(shape, ("ivm", "rescan")) == "ivm"
+    selector.record(shape, "ivm", 0.010)
+    assert selector.choose(shape, ("ivm", "rescan")) == "rescan"
+    selector.record(shape, "rescan", 0.002)
+    # Greedy thereafter: the faster arm wins until the estimates flip.
+    assert selector.choose(shape, ("ivm", "rescan")) == "rescan"
+    for _ in range(5):
+        selector.record(shape, "rescan", 0.050)
+    assert selector.choose(shape, ("ivm", "rescan")) == "ivm"
+    assert selector.preferred(shape) == "ivm"
+
+
+def test_arm_selector_reprobes_least_pulled_arm():
+    selector = ArmSelector(probe_interval=5)
+    shape = "s"
+    for _ in range(3):
+        selector.record(shape, "ivm", 0.001)
+    selector.record(shape, "rescan", 0.100)
+    choices = [selector.choose(shape, ("ivm", "rescan")) for _ in range(5)]
+    # Decisions 1-4 route greedily; the 5th re-probes the least-pulled arm
+    # (rescan, pulled once against ivm's three) despite its slower EWMA.
+    assert choices[:4] == ["ivm"] * 4
+    assert choices[4] == "rescan"
+
+
+def test_arm_selector_validates_alpha_and_counts():
+    with pytest.raises(OptimizationError):
+        ArmSelector(alpha=0.0)
+    selector = ArmSelector()
+    selector.choose("s", EXECUTION_ARMS)
+    selector.record("s", "ivm", 0.5)
+    counters = selector.counters()
+    assert counters["shapes"] == 1
+    assert counters["decisions"] == 1
+    assert counters["pulls"] == {"ivm": 1}
+
+
+def test_arm_routing_preserves_results():
+    """Whatever arm the selector picks, the rows never change."""
+    db = Database(ivm_config=_EAGER)
+    db.ivm.arm_selector = ArmSelector(probe_interval=3)
+    rows = _brush_rows(list(range(30)))
+    db.register_rows("t", rows, column_order=["g", "v", "b"])
+    plain = Database(ivm=False)
+    plain.register_rows("t", rows, column_order=["g", "v", "b"])
+    sql = "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM t WHERE b >= {} GROUP BY g"
+    for threshold in range(12):
+        assert (
+            db.execute(sql.format(threshold)).table.to_rows()
+            == plain.execute(sql.format(threshold)).table.to_rows()
+        )
+    # Both arms were actually exercised and observed.
+    pulls = db.ivm.arm_selector.counters()["pulls"]
+    assert pulls.get("ivm", 0) > 0 and pulls.get("rescan", 0) > 0
+
+
+def test_system_wires_arm_selector_into_ivm(histogram_spec, flights_db):
+    system = VegaPlusSystem(histogram_spec, flights_db, policy=AdaptivePolicy())
+    assert flights_db.ivm.arm_selector is system.policy.arms
+    stats = system.stats()
+    assert "ivm" in stats
+    assert set(stats["ivm"]) >= {"views", "hits", "delta_fraction", "invalidations"}
+    assert "arms" in stats["policy"]
+
+
+# --------------------------------------------------------------------------- #
+# Metrics and configuration
+# --------------------------------------------------------------------------- #
+
+
+def test_metrics_snapshot_and_reset_cover_ivm():
+    db = Database(ivm_config=_EAGER)
+    db.register_rows("t", _brush_rows([1, 2, 3]), column_order=["g", "v", "b"])
+    sql = "SELECT g, COUNT(*) AS n FROM t WHERE b >= {} GROUP BY g"
+    db.execute(sql.format(1))
+    db.execute(sql.format(2))
+    snapshot = db.metrics.snapshot()
+    assert snapshot["ivm_views"] == 1
+    assert snapshot["ivm_hits"] == 2
+    assert snapshot["ivm_rescan_rows_avoided"] > 0
+    db.metrics.reset()
+    wiped = db.metrics.snapshot()
+    assert all(wiped[key] == 0 for key in snapshot if key.startswith("ivm_"))
+
+
+def test_ivm_disabled_database_has_no_manager():
+    db = Database(ivm=False)
+    db.register_rows("t", _brush_rows([1, 2]), column_order=["g", "v", "b"])
+    assert db.ivm is None
+    sql = "SELECT g, COUNT(*) AS n FROM t WHERE b >= 1 GROUP BY g"
+    db.execute(sql)
+    db.execute(sql)
+    assert db.metrics.snapshot()["ivm_hits"] == 0
+
+
+def test_view_cap_evicts_oldest_view():
+    db = Database(ivm_config=IVMConfig(register_after=1, max_views=2))
+    db.register_rows("t", _brush_rows(list(range(10))), column_order=["g", "v", "b"])
+    templates = (
+        "SELECT g, COUNT(*) AS n FROM t WHERE b >= {} GROUP BY g",
+        "SELECT g, SUM(v) AS s FROM t WHERE b >= {} GROUP BY g",
+        "SELECT g, MIN(v) AS lo FROM t WHERE b >= {} GROUP BY g",
+    )
+    for template in templates:
+        db.execute(template.format(1))
+    assert db.ivm.view_count() == 2
+
+
+def test_manager_detaches_on_listener():
+    """The manager registers itself as a catalog listener at construction."""
+    db = Database(ivm=False)
+    manager = IVMManager(db.catalog)
+    db.register_rows("t", _brush_rows([1, 2]), column_order=["g", "v", "b"])
+    db.register_rows("t", _brush_rows([3]), replace=True, column_order=["g", "v", "b"])
+    # No views existed, so invalidation is a no-op — but must not raise.
+    assert manager.view_count() == 0
