@@ -68,6 +68,15 @@ class EmbeddedBackend(SQLBackend):
         """The wrapped engine's IVM view manager (``None`` when disabled)."""
         return self.database.ivm
 
+    @property
+    def morsel_executor(self) -> str:
+        """The wrapped engine's morsel executor kind: "thread" | "process"."""
+        return self.database.morsel_executor
+
+    def morsel_utilization(self) -> dict[str, float] | None:
+        """Process-pool worker utilization (``None`` on the thread executor)."""
+        return self.database.morsel_utilization()
+
     # ------------------------------------------------------------------ #
     def register_table(self, name: str, table: Table, replace: bool = False) -> None:
         self.database.register_table(name, table, replace=replace)

@@ -63,6 +63,7 @@ LIFTED_RATE_KEYS: tuple[str, ...] = (
     "coalescing_rate",
     "pruning_rate",
     "speedup_vs_serial",
+    "worker_scaling",
 )
 
 #: Structured extras lifted verbatim (adaptive-policy benchmarks).

@@ -17,12 +17,24 @@ from dataclasses import dataclass, field
 from repro.sql.executor import ExecutionStats, Executor
 from repro.sql.explain import CostEstimator, QueryCostEstimate, query_shape
 from repro.sql.ivm import IVMConfig, IVMManager
-from repro.sql.morsel import MorselPool
+from repro.sql.morsel import (
+    MorselPool,
+    ProcessMorselPool,
+    default_executor,
+    default_process_min_rows,
+)
 from repro.storage.statistics import CardinalityFeedback
 from repro.sql.optimizer import optimize_plan
 from repro.sql.parser import parse_sql
 from repro.sql.planner import LogicalPlan, build_logical_plan
+from repro.sql.template import (
+    PlanTemplate,
+    build_template,
+    instantiate,
+    template_shape,
+)
 from repro.storage.catalog import Catalog
+from repro.storage.shared import shared_memory_available
 from repro.storage.statistics import TableStatistics
 from repro.storage.table import PartitionedTable, Table
 
@@ -73,6 +85,9 @@ class EngineMetrics:
     total_rows_returned: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    plan_template_hits: int = 0
+    plan_template_misses: int = 0
+    queries_parsed: int = 0
     total_rows_grouped: int = 0
     total_groups_formed: int = 0
     total_rows_sorted: int = 0
@@ -80,6 +95,11 @@ class EngineMetrics:
     total_partitions_scanned: int = 0
     total_partitions_pruned: int = 0
     total_morsel_tasks: int = 0
+    total_morsel_tasks_dispatched: int = 0
+    total_morsel_tasks_inline: int = 0
+    total_morsel_bytes_shared: int = 0
+    total_morsel_bytes_pickled: int = 0
+    total_morsel_process_fallbacks: int = 0
     ivm_views: int = 0
     ivm_hits: int = 0
     ivm_delta_rows: int = 0
@@ -105,6 +125,11 @@ class EngineMetrics:
             self.total_partitions_scanned += result.stats.partitions_scanned
             self.total_partitions_pruned += result.stats.partitions_pruned
             self.total_morsel_tasks += result.stats.morsel_tasks
+            self.total_morsel_tasks_dispatched += result.stats.morsel_tasks_dispatched
+            self.total_morsel_tasks_inline += result.stats.morsel_tasks_inline
+            self.total_morsel_bytes_shared += result.stats.morsel_bytes_shared
+            self.total_morsel_bytes_pickled += result.stats.morsel_bytes_pickled
+            self.total_morsel_process_fallbacks += result.stats.morsel_process_fallbacks
             if keep_log:
                 self.query_log.append(result.sql)
 
@@ -117,6 +142,21 @@ class EngineMetrics:
         """Count one prepared-plan cache miss."""
         with self._lock:
             self.plan_cache_misses += 1
+
+    def record_plan_template_hit(self) -> None:
+        """Count one plan-cache miss answered by literal substitution."""
+        with self._lock:
+            self.plan_template_hits += 1
+
+    def record_plan_template_miss(self) -> None:
+        """Count one plan-cache miss that had to parse from scratch."""
+        with self._lock:
+            self.plan_template_misses += 1
+
+    def record_parse(self) -> None:
+        """Count one full tokenize+parse of a query text."""
+        with self._lock:
+            self.queries_parsed += 1
 
     def record_ivm_view(self) -> None:
         """Count one materialized view registration."""
@@ -154,6 +194,9 @@ class EngineMetrics:
                 "rows_returned": float(self.total_rows_returned),
                 "plan_cache_hits": float(self.plan_cache_hits),
                 "plan_cache_misses": float(self.plan_cache_misses),
+                "plan_template_hits": float(self.plan_template_hits),
+                "plan_template_misses": float(self.plan_template_misses),
+                "queries_parsed": float(self.queries_parsed),
                 "rows_grouped": float(self.total_rows_grouped),
                 "groups_formed": float(self.total_groups_formed),
                 "rows_sorted": float(self.total_rows_sorted),
@@ -161,6 +204,11 @@ class EngineMetrics:
                 "partitions_scanned": float(self.total_partitions_scanned),
                 "partitions_pruned": float(self.total_partitions_pruned),
                 "morsel_tasks": float(self.total_morsel_tasks),
+                "morsel_tasks_dispatched": float(self.total_morsel_tasks_dispatched),
+                "morsel_tasks_inline": float(self.total_morsel_tasks_inline),
+                "morsel_bytes_shared": float(self.total_morsel_bytes_shared),
+                "morsel_bytes_pickled": float(self.total_morsel_bytes_pickled),
+                "morsel_process_fallbacks": float(self.total_morsel_process_fallbacks),
                 "ivm_views": float(self.ivm_views),
                 "ivm_hits": float(self.ivm_hits),
                 "ivm_delta_rows": float(self.ivm_delta_rows),
@@ -178,6 +226,9 @@ class EngineMetrics:
             self.total_rows_returned = 0
             self.plan_cache_hits = 0
             self.plan_cache_misses = 0
+            self.plan_template_hits = 0
+            self.plan_template_misses = 0
+            self.queries_parsed = 0
             self.total_rows_grouped = 0
             self.total_groups_formed = 0
             self.total_rows_sorted = 0
@@ -185,6 +236,11 @@ class EngineMetrics:
             self.total_partitions_scanned = 0
             self.total_partitions_pruned = 0
             self.total_morsel_tasks = 0
+            self.total_morsel_tasks_dispatched = 0
+            self.total_morsel_tasks_inline = 0
+            self.total_morsel_bytes_shared = 0
+            self.total_morsel_bytes_pickled = 0
+            self.total_morsel_process_fallbacks = 0
             self.ivm_views = 0
             self.ivm_hits = 0
             self.ivm_delta_rows = 0
@@ -230,11 +286,26 @@ class Database:
         When True (default) the text of every executed query is kept in
         :attr:`metrics` — handy for tests and for the caching layer.
     parallelism:
-        Worker threads for morsel-parallel execution over partitioned
-        tables; ``None`` resolves the default (``REPRO_MORSEL_WORKERS``
-        env or capped CPU count), ``1`` forces serial execution.  The
-        pool is shared by every query this engine runs and is only
-        started once a partitioned table is actually executed against.
+        Worker threads/processes for morsel-parallel execution over
+        partitioned tables; ``None`` resolves the default
+        (``REPRO_MORSEL_WORKERS`` env or capped CPU count), ``1`` forces
+        serial execution under the thread executor.  The pool is shared
+        by every query this engine runs and is only started once a
+        partitioned table is actually executed against.
+    executor:
+        Morsel executor kind: ``"thread"`` (default) or ``"process"``.
+        ``None`` resolves the ``REPRO_MORSEL_EXECUTOR`` env default.
+        ``"process"`` adds a :class:`~repro.sql.morsel.ProcessMorselPool`
+        whose workers attach to tables via shared memory — true
+        multicore scaling past the GIL.  The thread pool stays as the
+        fallback tier (small tables, unpicklable plans, platforms
+        without shared memory); when shared memory is unavailable the
+        engine silently resolves back to ``"thread"``.
+    process_min_rows:
+        Table-row floor below which process dispatch is skipped in
+        favour of threads (pickling overhead dominates small tables).
+        ``None`` resolves ``REPRO_MORSEL_PROCESS_MIN_ROWS`` env or the
+        32768-row default; ``0`` forces process dispatch (tests).
     ivm:
         When True (default) eligible crossfilter-style queries are
         answered by incrementally maintained materialized views (see
@@ -248,15 +319,34 @@ class Database:
         keep_query_log: bool = True,
         plan_cache_size: int = 256,
         parallelism: int | None = None,
+        executor: str | None = None,
+        process_min_rows: int | None = None,
         ivm: bool = True,
         ivm_config: IVMConfig | None = None,
     ) -> None:
         self._catalog = Catalog()
         self._keep_query_log = keep_query_log
         self._plan_cache: OrderedDict[str, LogicalPlan] = OrderedDict()
+        self._template_cache: OrderedDict[str, PlanTemplate | None] = OrderedDict()
         self._plan_cache_size = plan_cache_size
         self._plan_cache_lock = threading.RLock()
         self.morsel_pool = MorselPool(parallelism)
+        requested = default_executor() if executor is None else str(executor)
+        if requested not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {requested!r}"
+            )
+        if requested == "process" and not shared_memory_available():
+            requested = "thread"
+        self.morsel_executor = requested
+        self.process_pool: ProcessMorselPool | None = (
+            ProcessMorselPool(parallelism) if requested == "process" else None
+        )
+        self._process_min_rows = (
+            default_process_min_rows()
+            if process_min_rows is None
+            else max(0, int(process_min_rows))
+        )
         self.metrics = EngineMetrics()
         self.ivm: IVMManager | None = (
             IVMManager(self._catalog, metrics=self.metrics, config=ivm_config)
@@ -348,7 +438,7 @@ class Database:
                 self.metrics.record_plan_cache_hit()
                 return cached
         self.metrics.record_plan_cache_miss()
-        plan = optimize_plan(build_logical_plan(parse_sql(sql)))
+        plan = optimize_plan(build_logical_plan(self._statement(sql)))
         if self._plan_cache_size > 0:
             with self._plan_cache_lock:
                 self._plan_cache[key] = plan
@@ -356,10 +446,50 @@ class Database:
                     self._plan_cache.popitem(last=False)
         return plan
 
+    def _statement(self, sql: str):
+        """The parsed statement for ``sql``, via the plan-template cache.
+
+        Repeated interactive queries differ only in literal values (brush
+        bounds), so on a plan-cache miss the engine first tries a *plan
+        template*: the previously-parsed statement for the same
+        literal-stripped shape, cloned with this query's literals
+        substituted (:mod:`repro.sql.template`).  Shapes whose token
+        literals don't line up 1:1 with AST literal slots are negatively
+        cached at build time, so substitution is only ever used where it
+        is provably value-faithful.  Planning and optimisation still run
+        per query — constant folding and pushdown see the real literals.
+        """
+        shaped = template_shape(sql)
+        if shaped is None:
+            self.metrics.record_parse()
+            return parse_sql(sql)
+        shape_key, values = shaped
+        with self._plan_cache_lock:
+            missing = object()
+            template = self._template_cache.get(shape_key, missing)
+            if template is not missing:
+                self._template_cache.move_to_end(shape_key)
+        if template is not missing and template is not None:
+            statement = instantiate(template, values)
+            if statement is not None:
+                self.metrics.record_plan_template_hit()
+                return statement
+        self.metrics.record_plan_template_miss()
+        self.metrics.record_parse()
+        statement = parse_sql(sql)
+        if template is missing and self._plan_cache_size > 0:
+            built = build_template(statement, values)
+            with self._plan_cache_lock:
+                self._template_cache[shape_key] = built
+                if len(self._template_cache) > self._plan_cache_size:
+                    self._template_cache.popitem(last=False)
+        return statement
+
     def clear_plan_cache(self) -> None:
-        """Drop all cached prepared plans."""
+        """Drop all cached prepared plans and plan templates."""
         with self._plan_cache_lock:
             self._plan_cache.clear()
+            self._template_cache.clear()
 
     def explain(
         self, sql: str, feedback: CardinalityFeedback | None = None
@@ -393,7 +523,12 @@ class Database:
         if attempt is not None and attempt.table is not None:
             table, stats = attempt.table, attempt.stats
         else:
-            executor = Executor(self._catalog, pool=self.morsel_pool)
+            executor = Executor(
+                self._catalog,
+                pool=self.morsel_pool,
+                process_pool=self.process_pool,
+                process_min_rows=self._process_min_rows,
+            )
             table, stats = executor.execute(plan)
         elapsed = time.perf_counter() - start
         if attempt is not None:
@@ -407,6 +542,19 @@ class Database:
         """Convenience wrapper returning the result rows directly."""
         return self.execute(sql).to_rows()
 
+    def morsel_utilization(self) -> dict[str, float] | None:
+        """Process-pool worker-utilization counters (``None`` for threads)."""
+        if self.process_pool is None:
+            return None
+        return self.process_pool.utilization()
+
     def close(self) -> None:
-        """Release engine resources (stops the morsel worker threads)."""
+        """Release engine resources.
+
+        Stops the morsel worker threads/processes and unlinks every
+        shared-memory table export this engine's catalog created.
+        """
         self.morsel_pool.shutdown()
+        if self.process_pool is not None:
+            self.process_pool.shutdown()
+        self._catalog.close_shared()

@@ -6,6 +6,10 @@ import threading
 from collections.abc import Callable, Mapping, Sequence
 
 from repro.errors import CatalogError
+from repro.storage.shared import (
+    SharedTableHandle,
+    shared_memory_available,
+)
 from repro.storage.statistics import (
     TableStatistics,
     ZoneMap,
@@ -32,6 +36,7 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._statistics: dict[str, TableStatistics] = {}
         self._zone_maps: dict[str, list[ZoneMap]] = {}
+        self._shared: dict[str, SharedTableHandle] = {}
         self._listeners: list[Callable[[str], None]] = []
         self._lock = threading.RLock()
 
@@ -70,6 +75,12 @@ class Catalog:
             self._tables[name] = table.renamed(name)
             self._statistics.pop(name, None)
             self._zone_maps.pop(name, None)
+            shared = self._shared.pop(name, None)
+        if shared is not None:
+            # Unlinking outside the lock: in-flight worker attaches of the
+            # old segment fail fast (StaleSegmentError) and the executor
+            # retries against the current table.
+            shared.close()
         if replaced:
             self._notify_invalidation(name)
 
@@ -91,6 +102,9 @@ class Catalog:
             del self._tables[name]
             self._statistics.pop(name, None)
             self._zone_maps.pop(name, None)
+            shared = self._shared.pop(name, None)
+        if shared is not None:
+            shared.close()
         self._notify_invalidation(name)
 
     def get(self, name: str) -> Table:
@@ -119,6 +133,35 @@ class Catalog:
             if name not in self._statistics:
                 self._statistics[name] = compute_table_statistics(self.get(name))
             return self._statistics[name]
+
+    def shared_handle(self, name: str) -> SharedTableHandle | None:
+        """The shared-memory export of a partitioned table, or ``None``.
+
+        Built lazily on first request (one segment per table, reused by
+        every subsequent query) and invalidated — closed *and unlinked* —
+        on re-registration and :meth:`drop`, like :meth:`statistics`.
+        Returns ``None`` for plain tables and when shared memory is
+        unavailable on this platform.
+        """
+        if not shared_memory_available():
+            return None
+        with self._lock:
+            table = self.get(name)
+            if not isinstance(table, PartitionedTable):
+                return None
+            handle = self._shared.get(name)
+            if handle is None:
+                handle = SharedTableHandle(table)
+                self._shared[name] = handle
+            return handle
+
+    def close_shared(self) -> None:
+        """Close and unlink every shared-memory export this catalog owns."""
+        with self._lock:
+            handles = list(self._shared.values())
+            self._shared.clear()
+        for handle in handles:
+            handle.close()
 
     def zone_maps(self, name: str) -> list[ZoneMap] | None:
         """Per-partition zone maps of a partitioned table, or ``None``.

@@ -6,6 +6,23 @@ import pytest
 
 from repro.datasets import generate_dataset
 from repro.sql import Database
+from repro.storage.shared import active_segment_names
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_shared_memory():
+    """The suite must not strand shared-memory segments.
+
+    Every test that triggers a shared-memory table export (the process
+    morsel executor) must release it — via ``Database.close()``,
+    ``drop_table`` or handle ``close()`` — before the session ends;
+    a leak here means ``/dev/shm`` grows with every test run.
+    """
+    yield
+    assert active_segment_names() == set(), (
+        f"shared-memory segments leaked by the test session: "
+        f"{sorted(active_segment_names())}"
+    )
 
 
 @pytest.fixture(scope="session")

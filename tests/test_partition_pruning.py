@@ -286,8 +286,17 @@ class TestSystemStats:
             "partitions_pruned",
             "pruning_rate",
             "morsel_tasks",
+            "morsel_tasks_dispatched",
+            "morsel_tasks_inline",
+            "morsel_bytes_shared",
+            "morsel_bytes_pickled",
+            "morsel_process_fallbacks",
+            "morsel_executor",
         }
         assert 0.0 <= section["pruning_rate"] <= 1.0
+        assert section["morsel_executor"] == "thread"
+        # Thread engines share nothing; every morsel is a thread/inline task.
+        assert section["morsel_bytes_shared"] == 0.0
 
     def test_pruning_rate_math(self):
         db = _partitioned_db()

@@ -45,15 +45,18 @@ def _engine_pair(
 
 
 @pytest.fixture(scope="module")
-def engines() -> dict[str, EmbeddedBackend]:
+def engines():
     """The corpus tables, flat-serial vs partitioned-parallel."""
-    return _engine_pair(
+    pair = _engine_pair(
         {
             "data": (_mixed_rows(), ["g", "v", "w", "b"]),
             "flights": (generate_dataset("flights", 300, seed=5), None),
         },
         target_rows=40,
     )
+    yield pair
+    for engine in pair.values():
+        engine.close()
 
 
 @pytest.mark.parametrize(

@@ -1,0 +1,167 @@
+"""Plan-template cache: parse once per query shape, substitute literals.
+
+The headline contract is the parse-count pin: a crossfilter brush
+sequence (same SQL text, different literal bounds each step) parses
+exactly once, and every subsequent step is answered by cloning the
+cached statement with the new literals.  Everything else here guards
+the safety rails — shapes whose token literals don't correspond 1:1 to
+AST literal slots (quoted aliases, truncating LIMIT floats) must be
+negatively cached and keep parsing, never produce wrong results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import Database
+from repro.sql.parser import parse_sql
+from repro.sql.template import (
+    build_template,
+    collect_literal_values,
+    instantiate,
+    template_shape,
+)
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database(ivm=False, parallelism=1)
+    database.register_rows(
+        "t",
+        [{"g": "ab"[i % 2], "v": float(i), "w": float(i % 10)} for i in range(100)],
+        column_order=["g", "v", "w"],
+    )
+    yield database
+    database.close()
+
+
+def test_brush_sequence_parses_once(db):
+    """20 brush steps over the same shape: one parse, 19 template hits."""
+    for low in range(0, 60, 3):  # 20 distinct literal pairs
+        rows = db.query_rows(
+            f"SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t "
+            f"WHERE v >= {low} AND v < {low + 40} GROUP BY g ORDER BY g"
+        )
+        assert rows  # the window always overlaps data
+    snapshot = db.metrics.snapshot()
+    assert snapshot["queries_parsed"] == 1.0
+    assert snapshot["plan_template_hits"] == 19.0
+    assert snapshot["plan_template_misses"] == 1.0
+    # Every step was still a plan-cache miss (distinct literals, distinct
+    # keys) — the template cache sits behind the exact-text LRU.
+    assert snapshot["plan_cache_misses"] == 20.0
+
+
+def test_exact_repeat_hits_plan_cache_not_template(db):
+    sql = "SELECT COUNT(*) AS n FROM t WHERE v > 10"
+    db.query_rows(sql)
+    db.query_rows(sql)
+    snapshot = db.metrics.snapshot()
+    assert snapshot["queries_parsed"] == 1.0
+    assert snapshot["plan_cache_hits"] == 1.0
+    assert snapshot["plan_template_hits"] == 0.0
+
+
+def test_template_results_match_fresh_parse(db):
+    """Template-instantiated plans return byte-identical rows to parsing."""
+    uncached = Database(ivm=False, parallelism=1, plan_cache_size=0)
+    uncached.register_rows(
+        "t",
+        [{"g": "ab"[i % 2], "v": float(i), "w": float(i % 10)} for i in range(100)],
+        column_order=["g", "v", "w"],
+    )
+    try:
+        shapes = [
+            "SELECT g, v FROM t WHERE v BETWEEN {lo} AND {hi} ORDER BY v LIMIT 5",
+            "SELECT g, AVG(v) AS a FROM t WHERE w = {lo} GROUP BY g HAVING AVG(v) > {hi}",
+            "SELECT DISTINCT g FROM t WHERE v > {lo} OR w < {hi}",
+            "SELECT CASE WHEN v > {hi} THEN 'high' ELSE 'low' END AS bucket, "
+            "COUNT(*) AS n FROM t WHERE v >= {lo} GROUP BY bucket",
+            "SELECT g FROM t WHERE v IN ({lo}, {hi}, 42) ORDER BY g LIMIT 3 OFFSET 1",
+            "SELECT -v AS neg FROM t WHERE v > -{lo} AND v < {hi} ORDER BY neg LIMIT 4",
+        ]
+        for shape in shapes:
+            for lo, hi in ((1, 50), (7, 80), (3, 66)):
+                sql = shape.format(lo=lo, hi=hi)
+                assert db.query_rows(sql) == uncached.query_rows(sql), sql
+    finally:
+        uncached.close()
+    assert db.metrics.snapshot()["plan_template_hits"] > 0
+
+
+def test_quoted_alias_shape_is_negative_cached(db):
+    """A double-quoted alias is a STRING token but not a literal slot."""
+    first = db.query_rows('SELECT v + 1 AS "bumped" FROM t WHERE v < 3 ORDER BY v')
+    second = db.query_rows('SELECT v + 2 AS "bumped" FROM t WHERE v < 3 ORDER BY v')
+    assert [row["bumped"] for row in first] == [1.0, 2.0, 3.0]
+    assert [row["bumped"] for row in second] == [2.0, 3.0, 4.0]
+    snapshot = db.metrics.snapshot()
+    assert snapshot["plan_template_hits"] == 0.0
+    assert snapshot["queries_parsed"] == 2.0
+
+
+def test_fractional_limit_shape_is_negative_cached(db):
+    """LIMIT 5.5 truncates to 5 in the parser — not substitutable."""
+    assert len(db.query_rows("SELECT v FROM t ORDER BY v LIMIT 5.5")) == 5
+    assert len(db.query_rows("SELECT v FROM t ORDER BY v LIMIT 6.5")) == 6
+    snapshot = db.metrics.snapshot()
+    assert snapshot["plan_template_hits"] == 0.0
+    assert snapshot["queries_parsed"] == 2.0
+
+
+def test_keyword_literals_stay_in_shape(db):
+    """TRUE/FALSE/NULL are keywords, not slots: they key distinct shapes."""
+    db.register_rows(
+        "flags", [{"f": True, "v": 1.0}, {"f": False, "v": 2.0}], replace=True
+    )
+    on = db.query_rows("SELECT v FROM flags WHERE f = TRUE")
+    off = db.query_rows("SELECT v FROM flags WHERE f = FALSE")
+    assert on == [{"v": 1.0}] and off == [{"v": 2.0}]
+
+
+def test_clear_plan_cache_drops_templates(db):
+    db.query_rows("SELECT COUNT(*) AS n FROM t WHERE v > 5")
+    db.clear_plan_cache()
+    db.query_rows("SELECT COUNT(*) AS n FROM t WHERE v > 6")
+    assert db.metrics.snapshot()["queries_parsed"] == 2.0
+
+
+# --------------------------------------------------------------------------- #
+# Unit level: shape extraction, build-time verification, substitution
+# --------------------------------------------------------------------------- #
+
+
+def test_template_shape_strips_literals():
+    shape, values = template_shape("SELECT a FROM t WHERE b > 5 AND c = 'x'")
+    assert "?" in shape and "5" not in shape and "'x'" not in shape
+    assert values == [5, "x"]
+    same_shape, other_values = template_shape("SELECT a FROM t WHERE b > 9 AND c = 'y'")
+    assert same_shape == shape
+    assert other_values == [9, "y"]
+
+
+def test_build_and_instantiate_round_trip():
+    sql = "SELECT a, SUM(b) AS s FROM t WHERE b >= 10 AND b < 20 GROUP BY a LIMIT 3"
+    _shape, values = template_shape(sql)
+    template = build_template(parse_sql(sql), values)
+    assert template is not None
+    replaced = instantiate(template, [100, 200, 7])
+    assert replaced is not None
+    assert collect_literal_values(replaced) == [100, 200, 7]
+    # The original statement is untouched (templates are reused shared state).
+    assert collect_literal_values(template.statement) == values
+
+
+def test_build_rejects_misaligned_shapes():
+    sql = 'SELECT a AS "label" FROM t WHERE b > 5'
+    _shape, values = template_shape(sql)
+    assert values == ["label", 5]
+    assert build_template(parse_sql(sql), values) is None
+
+
+def test_instantiate_rejects_wrong_value_count():
+    sql = "SELECT a FROM t WHERE b > 5"
+    _shape, values = template_shape(sql)
+    template = build_template(parse_sql(sql), values)
+    assert template is not None
+    assert instantiate(template, [1, 2]) is None
