@@ -283,7 +283,7 @@ def run_scenario(
         latency for session in sessions for latency in session.latencies
     ]
     result.percentiles = latency_percentiles(result.latencies)
-    result.scheduler = scheduler.stats.snapshot()
+    result.scheduler = scheduler.snapshot()
     result.statistics = manager_stats
     result.queries_executed = middleware.queries_executed
     result.mismatched_queries = sorted(set(mismatches))

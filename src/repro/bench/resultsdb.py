@@ -63,6 +63,7 @@ LIFTED_RATE_KEYS: tuple[str, ...] = (
     "coalescing_rate",
     "pruning_rate",
     "speedup_vs_serial",
+    "throughput_rps",
     "worker_scaling",
 )
 
@@ -221,6 +222,7 @@ class TaskResult:
     pruning_rate: float | None
     coalescing_rate: float | None
     speedup_vs_serial: float | None
+    throughput_rps: float | None
     extra: dict = field(default_factory=dict)
 
     def gate_metric(self) -> tuple[str, float] | None:
@@ -334,6 +336,7 @@ CREATE TABLE IF NOT EXISTS task_results (
     pruning_rate      REAL,
     coalescing_rate   REAL,
     speedup_vs_serial REAL,
+    throughput_rps    REAL,
     extra             TEXT NOT NULL DEFAULT '{}',
     UNIQUE (run_id, experiment)
 );
@@ -363,7 +366,26 @@ class ResultsDB:
         self._connection.row_factory = sqlite3.Row
         self._connection.execute("PRAGMA foreign_keys = ON")
         self._connection.executescript(_SCHEMA)
+        self._migrate()
         self._connection.commit()
+
+    def _migrate(self) -> None:
+        """Bring a pre-existing database up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` does nothing for databases created
+        by older code (CI restores them from cache), so columns added
+        since then are patched in with ``ALTER TABLE``; old rows read
+        back as NULL for the new metrics, which every consumer accepts.
+        """
+        existing = {
+            row["name"]
+            for row in self._connection.execute("PRAGMA table_info(task_results)")
+        }
+        for column, kind in (("throughput_rps", "REAL"),):
+            if column not in existing:
+                self._connection.execute(
+                    f"ALTER TABLE task_results ADD COLUMN {column} {kind}"
+                )
 
     # -- lifecycle ------------------------------------------------------- #
     def close(self) -> None:
@@ -492,8 +514,8 @@ class ResultsDB:
             "INSERT INTO task_results (run_id, experiment, scenario, backend,"
             " median_seconds, min_seconds, mean_seconds, rounds,"
             " p50_seconds, p95_seconds, p99_seconds, n_rows,"
-            " pruning_rate, coalescing_rate, speedup_vs_serial, extra)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " pruning_rate, coalescing_rate, speedup_vs_serial, throughput_rps, extra)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 run_id,
                 key,
@@ -510,6 +532,7 @@ class ResultsDB:
                 _opt_float(entry.get("pruning_rate")),
                 _opt_float(entry.get("coalescing_rate")),
                 _opt_float(entry.get("speedup_vs_serial")),
+                _opt_float(entry.get("throughput_rps")),
                 json.dumps(extra, sort_keys=True, default=str),
             ),
         )
@@ -734,6 +757,7 @@ METRIC_COLUMNS: tuple[str, ...] = (
     "pruning_rate",
     "coalescing_rate",
     "speedup_vs_serial",
+    "throughput_rps",
 )
 
 
@@ -779,5 +803,6 @@ def _task_result(row: sqlite3.Row) -> TaskResult:
         pruning_rate=row["pruning_rate"],
         coalescing_rate=row["coalescing_rate"],
         speedup_vs_serial=row["speedup_vs_serial"],
+        throughput_rps=row["throughput_rps"],
         extra=json.loads(row["extra"]),
     )

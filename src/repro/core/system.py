@@ -398,7 +398,7 @@ class VegaPlusSystem:
             getattr(self.middleware, "middleware", None), "scheduler", None
         )
         if scheduler is not None:
-            stats["scheduler"] = scheduler.stats.snapshot()
+            stats["scheduler"] = scheduler.snapshot()
         if self.feedback is not None:
             stats["feedback"] = self.feedback.snapshot()
         return stats

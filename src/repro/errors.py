@@ -86,6 +86,32 @@ class NetworkError(ReproError):
     """Raised by the simulated client/middleware/DBMS channel."""
 
 
+class ServingError(ReproError):
+    """Base class for errors raised by the sharded serving tier."""
+
+
+class OverloadError(ServingError):
+    """Raised when admission control sheds a request.
+
+    The explicit overload signal of the gateway: past the configured
+    inflight limit and queue depth, requests fail fast with this error
+    instead of queueing unboundedly — callers are expected to back off
+    and retry.  Shed counts are reported in ``stats()["serving"]``.
+    """
+
+
+class ShardError(ServingError):
+    """Raised when a shard worker fails a request or dies.
+
+    ``error_type`` carries the worker-side exception class name when the
+    worker replied with a structured error (as opposed to crashing).
+    """
+
+    def __init__(self, message: str, error_type: str | None = None) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+
+
 class ModelError(ReproError):
     """Raised by the from-scratch ML models (e.g. predict before fit)."""
 

@@ -32,6 +32,8 @@ class CacheStatistics:
     hits: int = 0
     misses: int = 0
     insertions: int = 0
+    #: In-place overwrites of an existing entry (``put(replace=True)``).
+    replacements: int = 0
     evictions: int = 0
     rejected_too_large: int = 0
     #: Eviction policy the cache runs (``fifo`` or ``lru``).
@@ -127,8 +129,18 @@ class QueryCache:
         with self._lock:
             return query in self._entries
 
-    def put(self, query: str, rows: list[dict], payload_bytes: int) -> bool:
-        """Insert a result; returns True when it was actually cached."""
+    def put(
+        self, query: str, rows: list[dict], payload_bytes: int, replace: bool = False
+    ) -> bool:
+        """Insert a result; returns True when it was actually cached.
+
+        With ``replace=False`` (the default) an existing entry wins — the
+        paper's duplicate check.  With ``replace=True`` the entry is
+        overwritten **under the same lock** that adjusts the byte budget:
+        the old entry's bytes leave and the new entry's bytes enter the
+        budget in one step, so an eviction racing the overwrite can never
+        observe (and double-subtract) a half-replaced entry.
+        """
         with self._lock:
             too_large = payload_bytes > self.max_result_bytes or (
                 self.max_total_bytes is not None and payload_bytes > self.max_total_bytes
@@ -136,9 +148,22 @@ class QueryCache:
             if too_large:
                 self.stats.rejected_too_large += 1
                 return False
-            if query in self._entries:
-                # Duplicate check: keep the existing entry and its position.
-                return False
+            existing = self._entries.get(query)
+            if existing is not None:
+                if not replace:
+                    # Duplicate check: keep the existing entry and its position.
+                    return False
+                # Lock-held replace path: swap rows and bytes atomically
+                # with respect to _evict_over_budget, which reads each
+                # evicted entry's payload_bytes under this same lock.
+                self.stats.current_bytes += payload_bytes - existing.payload_bytes
+                existing.rows = rows
+                existing.payload_bytes = payload_bytes
+                self.stats.replacements += 1
+                if self.policy == "lru":
+                    self._entries.move_to_end(query)
+                self._evict_over_budget()
+                return True
             self._entries[query] = CacheEntry(
                 query=query, rows=rows, payload_bytes=payload_bytes
             )
@@ -178,3 +203,28 @@ class QueryCache:
         """The cached query strings in eviction order (oldest first)."""
         with self._lock:
             return list(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Export / restore (session sharding)
+    # ------------------------------------------------------------------ #
+    def export_entries(self) -> list[tuple[str, list[dict], int]]:
+        """Picklable ``(query, rows, payload_bytes)`` tuples in eviction
+        order (oldest first), so a restore reproduces the same eviction
+        sequence on the receiving shard."""
+        with self._lock:
+            return [
+                (entry.query, entry.rows, entry.payload_bytes)
+                for entry in self._entries.values()
+            ]
+
+    def restore_entries(self, entries: list[tuple[str, list[dict], int]]) -> int:
+        """Re-insert exported entries (replacing on key collision).
+
+        Returns the number of entries actually cached; oversized entries
+        are dropped exactly as a fresh ``put`` would drop them.
+        """
+        restored = 0
+        for query, rows, payload_bytes in entries:
+            if self.put(query, rows, payload_bytes, replace=True):
+                restored += 1
+        return restored

@@ -318,5 +318,5 @@ class MiddlewareServer:
             "queries_executed": self.queries_executed,
         }
         if self.scheduler is not None:
-            stats["scheduler"] = self.scheduler.stats.snapshot()
+            stats["scheduler"] = self.scheduler.snapshot()
         return stats

@@ -1,20 +1,127 @@
-"""Serialisation cost models.
+"""Serialisation: cost models and the sharded-tier wire protocol.
 
 VegaPlus reduces network transfer cost by encoding query results with the
 binary Apache Arrow format instead of JSON (Section 4).  We model the two
 codecs' payload sizes (and the CPU cost of encoding/decoding) without
 materialising giant byte strings: sizes are estimated from a row sample,
 which keeps benchmarks fast while preserving the relative JSON/Arrow gap.
+
+This module also carries the **real** wire format of the sharded serving
+tier (:mod:`repro.server.shard`): length-prefixed frames over a stream
+socket/pipe.  A frame is a 4-byte big-endian payload length followed by
+the pickled message — the gateway and its worker processes are two halves
+of one program, so pickle (protocol 5, buffer-friendly) is the honest
+codec and the length prefix makes message boundaries explicit on a byte
+stream.  :func:`encode_frame` / :func:`decode_frame_payload` are shared
+by the asyncio side (``StreamReader.readexactly``) and the blocking
+worker side (:func:`send_frame` / :func:`recv_frame`).
 """
 
 from __future__ import annotations
 
 import json
+import pickle
+import socket
+import struct
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 #: Number of rows sampled when estimating per-row payload size.
 _SAMPLE_ROWS = 50
+
+# --------------------------------------------------------------------------- #
+# Length-prefixed wire frames (sharded serving tier)
+# --------------------------------------------------------------------------- #
+
+#: Bytes of the frame header: one unsigned big-endian 32-bit length.
+FRAME_HEADER_BYTES = 4
+
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame's payload (256 MiB).  A length prefix
+#: beyond this is treated as stream corruption, not an allocation request.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class WireProtocolError(RuntimeError):
+    """A malformed frame or a connection that died mid-frame."""
+
+
+def encode_frame(message: object) -> bytes:
+    """One wire frame: 4-byte big-endian length + pickled ``message``."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _FRAME_HEADER.pack(len(payload)) + payload
+
+
+def frame_payload_length(header: bytes) -> int:
+    """Payload length encoded in a frame header (validated)."""
+    if len(header) != FRAME_HEADER_BYTES:
+        raise WireProtocolError(
+            f"expected a {FRAME_HEADER_BYTES}-byte frame header, got {len(header)}"
+        )
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit "
+            "(corrupt stream?)"
+        )
+    return length
+
+
+def decode_frame_payload(payload: bytes) -> object:
+    """The message carried by one frame's payload bytes."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of error types
+        raise WireProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+def send_frame(sock: socket.socket, message: object) -> None:
+    """Blocking send of one frame (worker side of the shard protocol)."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exactly(sock: socket.socket, n_bytes: int) -> bytes | None:
+    """``n_bytes`` from the stream, or ``None`` on EOF at byte 0.
+
+    EOF after at least one byte is a torn frame and raises
+    :class:`WireProtocolError`.
+    """
+    chunks: list[bytes] = []
+    remaining = n_bytes
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n_bytes:
+                return None
+            raise WireProtocolError(
+                f"connection died mid-frame with {remaining} of {n_bytes} "
+                "bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> object:
+    """Blocking receive of one frame (worker side of the shard protocol).
+
+    Raises :class:`EOFError` when the peer closed the stream cleanly at a
+    frame boundary, :class:`WireProtocolError` on a torn or corrupt frame.
+    """
+    header = _recv_exactly(sock, FRAME_HEADER_BYTES)
+    if header is None:
+        raise EOFError("connection closed")
+    length = frame_payload_length(header)
+    payload = _recv_exactly(sock, length) if length else b""
+    if payload is None:
+        raise WireProtocolError("connection died between frame header and payload")
+    return decode_frame_payload(payload)
 
 
 @dataclass(frozen=True)

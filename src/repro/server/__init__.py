@@ -15,7 +15,13 @@ top of the (stateless) :class:`~repro.net.middleware.MiddlewareServer`:
 * :mod:`~repro.server.feedback` — :class:`FeedbackCollector`: observed
   latencies and true result cardinalities from live traffic, feeding the
   adaptive plan policies' cardinality calibration and the online
-  comparator trainer (the closed loop of the adaptive optimizer).
+  comparator trainer (the closed loop of the adaptive optimizer),
+* :mod:`~repro.server.shard` — the sharded async tier:
+  :class:`AsyncGateway` routes requests by session-id hash to worker
+  *processes* (each owning its shard of the session map plus a full
+  middleware stack), with explicit admission control that sheds overload
+  via :class:`~repro.errors.OverloadError` instead of queueing
+  unboundedly.
 
 Typical assembly::
 
@@ -46,14 +52,28 @@ from repro.server.session import (
     SessionManager,
     latency_percentiles,
 )
+from repro.server.shard import (
+    AdmissionController,
+    AsyncGateway,
+    ShardResponse,
+    ShardSpec,
+    TableSpec,
+    shard_for,
+)
 
 __all__ = [
+    "AdmissionController",
+    "AsyncGateway",
     "ClientSession",
     "FeedbackCollector",
     "LATENCY_PERCENTILES",
     "RequestScheduler",
     "SchedulerStats",
     "SessionManager",
+    "ShardResponse",
+    "ShardSpec",
     "SingleFlightOutcome",
+    "TableSpec",
     "latency_percentiles",
+    "shard_for",
 ]

@@ -37,9 +37,10 @@ T = TypeVar("T")
 class SchedulerStats:
     """Admission and coalescing counters of one scheduler.
 
-    Mutated only under the owning scheduler's lock; reads are plain (a
-    snapshot may straddle an in-progress update by one count, which is
-    fine for reporting).
+    Mutated only under the owning scheduler's lock.  For a consistent
+    copy use :meth:`RequestScheduler.snapshot`, which takes that lock;
+    reading the fields directly may straddle an in-progress update
+    (e.g. a wait time landed but not yet attributed) mid-drain.
     """
 
     #: Total ``run()`` calls (leaders + followers).
@@ -121,6 +122,7 @@ class RequestScheduler:
         self._lock = threading.Lock()
         self._in_flight: dict[str, Future] = {}
         self._closed = False
+        self._final_snapshot: dict[str, float] | None = None
 
     # ------------------------------------------------------------------ #
     def run(self, key: str, fn: Callable[[], T]) -> SingleFlightOutcome:
@@ -193,11 +195,33 @@ class RequestScheduler:
         with self._lock:
             return len(self._in_flight)
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) drain the pool."""
+    def snapshot(self) -> dict[str, float]:
+        """A consistent copy of the counters, taken under the scheduler
+        lock — a reader can never observe a submission whose wait time
+        has landed but whose coalesced/executed attribution has not."""
         with self._lock:
+            return self.stats.snapshot()
+
+    def shutdown(self, wait: bool = True) -> dict[str, float]:
+        """Stop accepting work, drain the pool, return the final stats.
+
+        Idempotent: the first call closes admission, drains the pool
+        (when ``wait``) and freezes one final :meth:`snapshot` under the
+        scheduler lock; every later call is a no-op that returns the
+        same frozen snapshot, so concurrent shutdown paths (a session
+        manager and a benchmark ``finally`` block, say) agree on the
+        final counters instead of racing a second drain.
+        """
+        with self._lock:
+            already_closed = self._closed
             self._closed = True
+        if already_closed and self._final_snapshot is not None:
+            return self._final_snapshot
         self._pool.shutdown(wait=wait)
+        with self._lock:
+            if self._final_snapshot is None:
+                self._final_snapshot = self.stats.snapshot()
+            return self._final_snapshot
 
     def __enter__(self) -> "RequestScheduler":
         return self

@@ -197,6 +197,79 @@ def test_cache_statistics_expose_policy_and_budget():
     assert cache.stats.hits == 0 and cache.stats.misses == 0  # peek is silent
 
 
+def test_cache_replace_keeps_byte_accounting_exact():
+    """Regression: overwrite-then-evict must never double-subtract.
+
+    The replace path swaps the entry's rows and bytes under the same
+    lock that the eviction loop reads them through, so ``current_bytes``
+    stays the exact sum of cached payloads across overwrite sizes in
+    either direction.
+    """
+    cache = QueryCache(max_entries=4, max_total_bytes=200)
+    cache.put("a", [], 40)
+    cache.put("b", [], 40)
+    # Overwrite smaller -> budget shrinks by the difference.
+    assert cache.put("a", [{"v": 1}], 10, replace=True) is True
+    assert cache.stats.current_bytes == 50
+    assert cache.stats.replacements == 1
+    assert cache.stats.insertions == 2  # a replace is not an insertion
+    assert cache.peek("a").rows == [{"v": 1}]
+    # Overwrite larger -> budget grows by the difference.
+    cache.put("a", [], 90, replace=True)
+    assert cache.stats.current_bytes == 130
+    # Grow "b" past the budget: the eviction that follows subtracts each
+    # victim's *current* bytes — the total lands back at the exact sum.
+    cache.put("b", [], 150, replace=True)
+    assert cache.contains("b") and not cache.contains("a")
+    assert cache.stats.current_bytes == 150 == cache.total_bytes
+    assert cache.stats.evicted_bytes == 90
+    # replace=True on a missing key is a plain insertion.
+    cache.clear()
+    assert cache.put("fresh", [], 10, replace=True) is True
+    assert cache.stats.current_bytes == 10
+
+
+def test_cache_replace_is_exact_under_contention():
+    """current_bytes stays exact while replaces race the eviction loop."""
+    import threading
+
+    cache = QueryCache(max_entries=6, max_total_bytes=300)
+
+    def hammer(worker: int) -> None:
+        for i in range(400):
+            cache.put(f"q{(worker + i) % 9}", [], 30 + (i % 3) * 20, replace=True)
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # The pinned invariant: the counter equals the recomputed sum (a
+    # double-subtract would leave it short) and respects the budget.
+    with cache._lock:
+        actual = sum(entry.payload_bytes for entry in cache._entries.values())
+    assert cache.stats.current_bytes == actual
+    assert 0 <= cache.stats.current_bytes <= 300
+
+
+def test_cache_export_restore_roundtrip():
+    cache = QueryCache(max_entries=4, max_total_bytes=200)
+    cache.put("a", [{"v": 1}], 40)
+    cache.put("b", [{"v": 2}], 50)
+    exported = cache.export_entries()
+    assert exported == [("a", [{"v": 1}], 40), ("b", [{"v": 2}], 50)]
+    target = QueryCache(max_entries=4, max_total_bytes=200)
+    target.put("a", [{"v": 0}], 99)  # stale entry loses to the restore
+    assert target.restore_entries(exported) == 2
+    assert target.peek("a").rows == [{"v": 1}]
+    assert target.total_bytes == 90
+    assert target.cached_queries() == ["a", "b"]  # eviction order preserved
+    # Oversized entries drop exactly as a fresh put would.
+    tiny = QueryCache(max_entries=4, max_result_bytes=45)
+    assert tiny.restore_entries(exported) == 1
+    assert tiny.cached_queries() == ["a"]
+
+
 def test_cache_is_thread_safe_under_contention():
     import threading
 

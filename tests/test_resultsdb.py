@@ -121,6 +121,65 @@ def test_summary_entry_lifts_percentiles_rates_and_structs():
     assert "pruning_rate" not in entry
 
 
+def test_summary_entry_lifts_throughput_rps():
+    entry = summary_entry(
+        {"median": 3.4, "min": 3.4, "mean": 3.4, "rounds": 1},
+        {"throughput_rps": 102.53817, "tier": "sharded"},
+    )
+    assert entry["throughput_rps"] == 102.5382
+    assert entry["extra_info"]["tier"] == "sharded"
+
+
+def test_throughput_rps_roundtrips_and_feeds_trend():
+    document = _raw_document()
+    document["benchmarks"].append(
+        {
+            "name": "test_figure14_serving_tier[sharded]",
+            "stats": {"median": 5.58, "min": 5.58, "mean": 5.58, "rounds": 1},
+            "extra_info": {
+                "backend": "embedded",
+                "tier": "sharded",
+                "throughput_rps": 102.5,
+                "latency_percentiles": {"p50": 0.01, "p95": 0.015, "p99": 0.0161},
+            },
+        }
+    )
+    with ResultsDB() as db:
+        run_id = db.ingest(document, source="synthetic")
+        results = {r.experiment: r for r in db.results_for_run(run_id)}
+        fig14 = results["test_figure14_serving_tier[sharded][embedded]"]
+        assert fig14.throughput_rps == 102.5
+        assert fig14.p99_seconds == 0.0161
+        key = "test_figure14_serving_tier[sharded][embedded]"
+        points = db.trend(key, metric="throughput_rps")
+        assert [p.value for p in points] == [102.5]
+        assert "throughput_rps" in METRIC_COLUMNS
+        # Rows without the metric read back None, not 0.
+        fig10 = results["test_figure10_concurrent_sessions[cold_start_burst][embedded]"]
+        assert fig10.throughput_rps is None
+
+
+def test_schema_migration_adds_throughput_column(tmp_path):
+    """Opening a pre-PR-9 DB (no throughput_rps column) upgrades it."""
+    import sqlite3
+
+    path = tmp_path / "old.db"
+    with ResultsDB(path) as db:
+        db.ingest(_raw_document(), source="synthetic")
+    with sqlite3.connect(path) as raw:
+        raw.execute("ALTER TABLE task_results DROP COLUMN throughput_rps")
+    with ResultsDB(path) as db:
+        columns = {
+            row[1]
+            for row in db._connection.execute("PRAGMA table_info(task_results)")
+        }
+        assert "throughput_rps" in columns
+        # Old rows survive the migration and read back None.
+        run_id = db.runs()[0].run_id
+        for result in db.results_for_run(run_id):
+            assert result.throughput_rps is None
+
+
 def test_is_raw_document_distinguishes_formats():
     assert is_raw_document(_raw_document())
     assert not is_raw_document({"schema": "bench-summary/v1", "experiments": {}})

@@ -105,6 +105,29 @@ def test_scheduler_rejects_after_shutdown_and_bad_config():
         RequestScheduler(max_workers=0)
 
 
+def test_scheduler_shutdown_is_idempotent_and_freezes_final_stats():
+    """Repeated/concurrent shutdowns return ONE frozen final snapshot."""
+    scheduler = RequestScheduler(max_workers=2)
+    scheduler.run("a", lambda: 1)
+    scheduler.run("b", lambda: 2)
+    first = scheduler.shutdown()
+    assert first["submitted"] == 2
+    assert first["executed"] == 2
+    # Every later call — including racing ones — returns the same
+    # frozen snapshot object, not a re-drained recount.
+    assert scheduler.shutdown() is first
+    snapshots = []
+    threads = [
+        threading.Thread(target=lambda: snapshots.append(scheduler.shutdown()))
+        for _ in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(snapshot is first for snapshot in snapshots)
+
+
 # --------------------------------------------------------------------------- #
 # SessionManager / ClientSession
 # --------------------------------------------------------------------------- #
@@ -157,6 +180,42 @@ def test_session_manager_bookkeeping(manager):
         manager.get("ghost")
     manager.close_session(auto.session_id)
     assert len(manager) == 1
+
+
+def test_session_manager_shutdown_returns_final_scheduler_snapshot(flights_db):
+    manager = SessionManager.for_backend(flights_db, max_workers=2)
+    manager.create_session("alice").execute(SQL)
+    final = manager.shutdown()
+    assert final is not None and final["submitted"] == 1
+    assert manager.shutdown() is final  # idempotent, same frozen snapshot
+    assert len(manager) == 0
+    # Without a scheduler there is no snapshot to return.
+    bare = SessionManager(MiddlewareServer(flights_db))
+    assert bare.shutdown() is None
+
+
+def test_session_export_restore_roundtrip(manager):
+    import pickle
+
+    alice = manager.create_session("alice", network=NetworkModel.wan())
+    alice.execute(SQL)
+    state = pickle.loads(pickle.dumps(manager.export_session("alice")))
+    assert state["requests"] == 1 and len(state["cache_entries"]) == 1
+
+    # Export leaves the source live; restoring over it needs replace.
+    assert manager.get("alice") is alice
+    with pytest.raises(ValueError):
+        manager.restore_session(state)
+    restored = manager.restore_session(state, replace=True)
+    assert restored is not alice
+    assert restored.network.rtt_seconds == alice.network.rtt_seconds
+    assert restored.latencies == alice.latencies
+    # The client cache travelled by value: the same query is a client
+    # hit on the restored session without touching the server again.
+    executed_before = manager.middleware.queries_executed
+    response = restored.execute(SQL)
+    assert response.cache_level == "client"
+    assert manager.middleware.queries_executed == executed_before
 
 
 def test_session_latency_summary_and_statistics(manager):
@@ -226,6 +285,37 @@ def test_concurrent_run_matches_serial_baseline(backend, scenario):
     assert stats["submitted"] == stats["executed"] + stats["coalesced"]
     # Single-flight + publish-before-retire: each distinct query reaches
     # the backend at most once while it stays cached.
+    assert result.queries_executed <= result.unique_queries
+
+
+def test_crossfilter_storm_with_forced_process_morsel_executor(monkeypatch):
+    """The cache-heavy scenario survives the process morsel executor.
+
+    REPRO_MORSEL_EXECUTOR=process with the size floor disabled pushes
+    every embedded-backend morsel across the process boundary while the
+    serving tier coalesces the storm's duplicate queries — the two
+    process-parallel layers composed must still return row-identical
+    results, with coalescing engaged.
+    """
+    from repro.storage.shared import shared_memory_available
+
+    if not shared_memory_available():
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    monkeypatch.setenv("REPRO_MORSEL_EXECUTOR", "process")
+    monkeypatch.setenv("REPRO_MORSEL_PROCESS_MIN_ROWS", "0")
+    result = run_scenario(
+        "crossfilter_storm",
+        backend="embedded",
+        n_sessions=8,
+        queries_per_session=4,
+        n_rows=400,
+        max_workers=4,
+    )
+    assert result.matches_serial, result.mismatched_queries
+    stats = result.scheduler
+    assert stats["submitted"] == stats["executed"] + stats["coalesced"]
+    # The storm's overlap must actually engage the single-flight path.
+    assert stats["coalesced"] > 0
     assert result.queries_executed <= result.unique_queries
 
 

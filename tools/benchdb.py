@@ -9,6 +9,13 @@ this tool exposes them as four verbs::
     python tools/benchdb.py compare [--run ID] [--baseline-window N] \
         [--threshold 0.5] [--min-seconds 0.002]
     python tools/benchdb.py trend "test_figure10_concurrent_sessions[cold_start_burst][embedded]"
+    python tools/benchdb.py trend "test_figure14_serving_tier[sharded][embedded]" \
+        --metric throughput_rps
+
+``trend`` plots one experiment metric across the stored runs;
+``--metric`` selects any recorded metric column — wall/latency seconds
+(``median_seconds``, ``p95_seconds``, ``p99_seconds``, …) or rates such
+as the fig14 serving tier's ``throughput_rps``.
 
 ``ingest`` records one *run* (all files of one benchmark invocation —
 raw ``--benchmark-json`` output and/or compact summaries) with its git
@@ -173,7 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric",
         default="p95_seconds",
         choices=METRIC_COLUMNS,
-        help="metric column to plot (default: p95_seconds)",
+        help=(
+            "metric column to plot (default: p95_seconds; e.g. p99_seconds "
+            "for tail latency, throughput_rps for serving throughput)"
+        ),
     )
     trend.add_argument("--machine", help="only runs on this fingerprint")
     return parser

@@ -20,7 +20,7 @@ and the duplicates are reported on stderr.
 
 The per-experiment entry layout — which percentiles exist, what the
 lifted scalar metrics (``coalescing_rate``, ``pruning_rate``,
-``speedup_vs_serial``) and structured extras (``policy``, ``regret``,
+``speedup_vs_serial``, ``throughput_rps``) and structured extras (``policy``, ``regret``,
 ``accuracy_over_time``) are called — is defined **once** in
 :mod:`repro.bench.resultsdb` and shared with the persistent results
 database, so the committed summary and ``tools/benchdb.py`` always
