@@ -112,7 +112,7 @@ class ThreadedTier:
                 session = manager.create_session(session_id)
             response = session.execute(sql)
         return ShardResponse(
-            rows=response.rows,
+            result=response.result,
             payload_bytes=response.payload_bytes,
             total_seconds=response.total_seconds,
             cache_level=response.cache_level,

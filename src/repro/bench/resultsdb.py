@@ -64,6 +64,7 @@ LIFTED_RATE_KEYS: tuple[str, ...] = (
     "pruning_rate",
     "speedup_vs_serial",
     "throughput_rps",
+    "transport_speedup",
     "worker_scaling",
 )
 
@@ -223,6 +224,7 @@ class TaskResult:
     coalescing_rate: float | None
     speedup_vs_serial: float | None
     throughput_rps: float | None
+    transport_speedup: float | None
     extra: dict = field(default_factory=dict)
 
     def gate_metric(self) -> tuple[str, float] | None:
@@ -337,6 +339,7 @@ CREATE TABLE IF NOT EXISTS task_results (
     coalescing_rate   REAL,
     speedup_vs_serial REAL,
     throughput_rps    REAL,
+    transport_speedup REAL,
     extra             TEXT NOT NULL DEFAULT '{}',
     UNIQUE (run_id, experiment)
 );
@@ -381,7 +384,10 @@ class ResultsDB:
             row["name"]
             for row in self._connection.execute("PRAGMA table_info(task_results)")
         }
-        for column, kind in (("throughput_rps", "REAL"),):
+        for column, kind in (
+            ("throughput_rps", "REAL"),
+            ("transport_speedup", "REAL"),
+        ):
             if column not in existing:
                 self._connection.execute(
                     f"ALTER TABLE task_results ADD COLUMN {column} {kind}"
@@ -514,8 +520,9 @@ class ResultsDB:
             "INSERT INTO task_results (run_id, experiment, scenario, backend,"
             " median_seconds, min_seconds, mean_seconds, rounds,"
             " p50_seconds, p95_seconds, p99_seconds, n_rows,"
-            " pruning_rate, coalescing_rate, speedup_vs_serial, throughput_rps, extra)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " pruning_rate, coalescing_rate, speedup_vs_serial, throughput_rps,"
+            " transport_speedup, extra)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 run_id,
                 key,
@@ -533,6 +540,7 @@ class ResultsDB:
                 _opt_float(entry.get("coalescing_rate")),
                 _opt_float(entry.get("speedup_vs_serial")),
                 _opt_float(entry.get("throughput_rps")),
+                _opt_float(entry.get("transport_speedup")),
                 json.dumps(extra, sort_keys=True, default=str),
             ),
         )
@@ -758,6 +766,7 @@ METRIC_COLUMNS: tuple[str, ...] = (
     "coalescing_rate",
     "speedup_vs_serial",
     "throughput_rps",
+    "transport_speedup",
 )
 
 
@@ -804,5 +813,6 @@ def _task_result(row: sqlite3.Row) -> TaskResult:
         coalescing_rate=row["coalescing_rate"],
         speedup_vs_serial=row["speedup_vs_serial"],
         throughput_rps=row["throughput_rps"],
+        transport_speedup=row["transport_speedup"],
         extra=json.loads(row["extra"]),
     )

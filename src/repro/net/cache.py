@@ -5,6 +5,17 @@ middleware cache.  Each cache maps the executed SQL string to its result,
 has a fixed capacity, avoids duplicate entries, and only admits results
 below a size threshold.
 
+Entries hold the result in whatever form the caller supplies — the
+serving path stores columnar
+:class:`~repro.storage.resultset.ResultSet` batches (row dicts never
+materialise on a cache hit unless a final consumer asks), while legacy
+callers may still store plain ``list[dict]`` rows.  ``payload_bytes``
+should be the **exact** size of the stored result
+(:attr:`ResultSet.nbytes` for columnar entries), so the byte budget
+charges on insertion exactly what eviction later frees — a codec
+*estimate* here would let the accounted total drift from resident
+memory.
+
 The serving runtime (:mod:`repro.server`) shares one middleware cache
 between many concurrent sessions, so the cache is thread-safe: every
 lookup/insert runs under an internal lock.  Two eviction policies are
@@ -20,6 +31,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+
+from repro.storage.resultset import ResultSet
 
 #: Eviction policies accepted by :class:`QueryCache`.
 CACHE_POLICIES = ("fifo", "lru")
@@ -54,11 +67,19 @@ class CacheStatistics:
 
 @dataclass
 class CacheEntry:
-    """One cached query result."""
+    """One cached query result (columnar batch or legacy row list)."""
 
     query: str
-    rows: list[dict]
+    result: ResultSet | list[dict]
     payload_bytes: int
+
+    @property
+    def rows(self) -> list[dict]:
+        """The entry's rows — materialised (and cached) for columnar
+        entries, returned as-is for legacy row lists."""
+        if isinstance(self.result, ResultSet):
+            return self.result.rows()
+        return self.result
 
 
 class QueryCache:
@@ -130,9 +151,18 @@ class QueryCache:
             return query in self._entries
 
     def put(
-        self, query: str, rows: list[dict], payload_bytes: int, replace: bool = False
+        self,
+        query: str,
+        result: ResultSet | list[dict],
+        payload_bytes: int,
+        replace: bool = False,
     ) -> bool:
         """Insert a result; returns True when it was actually cached.
+
+        ``result`` may be a columnar :class:`ResultSet` (the serving
+        path) or a plain row list; ``payload_bytes`` is the exact size
+        charged to the byte budget (``ResultSet.nbytes`` for columnar
+        entries).
 
         With ``replace=False`` (the default) an existing entry wins — the
         paper's duplicate check.  With ``replace=True`` the entry is
@@ -153,11 +183,11 @@ class QueryCache:
                 if not replace:
                     # Duplicate check: keep the existing entry and its position.
                     return False
-                # Lock-held replace path: swap rows and bytes atomically
+                # Lock-held replace path: swap result and bytes atomically
                 # with respect to _evict_over_budget, which reads each
                 # evicted entry's payload_bytes under this same lock.
                 self.stats.current_bytes += payload_bytes - existing.payload_bytes
-                existing.rows = rows
+                existing.result = result
                 existing.payload_bytes = payload_bytes
                 self.stats.replacements += 1
                 if self.policy == "lru":
@@ -165,7 +195,7 @@ class QueryCache:
                 self._evict_over_budget()
                 return True
             self._entries[query] = CacheEntry(
-                query=query, rows=rows, payload_bytes=payload_bytes
+                query=query, result=result, payload_bytes=payload_bytes
             )
             self.stats.insertions += 1
             self.stats.current_bytes += payload_bytes
@@ -207,24 +237,28 @@ class QueryCache:
     # ------------------------------------------------------------------ #
     # Export / restore (session sharding)
     # ------------------------------------------------------------------ #
-    def export_entries(self) -> list[tuple[str, list[dict], int]]:
-        """Picklable ``(query, rows, payload_bytes)`` tuples in eviction
+    def export_entries(self) -> list[tuple[str, ResultSet | list[dict], int]]:
+        """Picklable ``(query, result, payload_bytes)`` tuples in eviction
         order (oldest first), so a restore reproduces the same eviction
-        sequence on the receiving shard."""
+        sequence on the receiving shard.  Columnar entries export as
+        :class:`ResultSet` batches — they cross the shard wire as
+        out-of-band column buffers, never as row dicts."""
         with self._lock:
             return [
-                (entry.query, entry.rows, entry.payload_bytes)
+                (entry.query, entry.result, entry.payload_bytes)
                 for entry in self._entries.values()
             ]
 
-    def restore_entries(self, entries: list[tuple[str, list[dict], int]]) -> int:
+    def restore_entries(
+        self, entries: list[tuple[str, ResultSet | list[dict], int]]
+    ) -> int:
         """Re-insert exported entries (replacing on key collision).
 
         Returns the number of entries actually cached; oversized entries
         are dropped exactly as a fresh ``put`` would drop them.
         """
         restored = 0
-        for query, rows, payload_bytes in entries:
-            if self.put(query, rows, payload_bytes, replace=True):
+        for query, result, payload_bytes in entries:
+            if self.put(query, result, payload_bytes, replace=True):
                 restored += 1
         return restored

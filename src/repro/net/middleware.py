@@ -33,8 +33,9 @@ from repro.backends import SQLBackend, as_backend
 from repro.backends.base import BackendCapabilities
 from repro.net.cache import QueryCache
 from repro.net.channel import NetworkModel
-from repro.net.serialize import ArrowCodec, Codec
+from repro.net.serialize import ArrowCodec, Codec, PayloadEstimate
 from repro.sql.engine import Database
+from repro.storage.resultset import ResultSet
 
 if TYPE_CHECKING:  # avoids a runtime repro.net ↔ repro.server cycle
     from repro.server.scheduler import RequestScheduler
@@ -42,10 +43,16 @@ if TYPE_CHECKING:  # avoids a runtime repro.net ↔ repro.server cycle
 
 @dataclass
 class QueryResponse:
-    """What the client receives for one SQL request."""
+    """What the client receives for one SQL request.
+
+    The payload is columnar end to end: :attr:`result` is the
+    :class:`~repro.storage.resultset.ResultSet` as executed/cached —
+    row dicts only materialise when a consumer reads :attr:`rows`
+    (lazily, cached on the result set itself).
+    """
 
     sql: str
-    rows: list[dict]
+    result: ResultSet | list[dict]
     payload_bytes: int
     server_seconds: float
     network_seconds: float
@@ -53,6 +60,20 @@ class QueryResponse:
     cache_level: str | None = None
     #: True when this request shared another request's in-flight execution.
     coalesced: bool = False
+
+    @property
+    def rows(self) -> list[dict]:
+        """The canonical row-dict view (materialised on first access)."""
+        if isinstance(self.result, ResultSet):
+            return self.result.rows()
+        return self.result
+
+    @property
+    def num_rows(self) -> int:
+        """Result cardinality without materialising any rows."""
+        if isinstance(self.result, ResultSet):
+            return self.result.num_rows
+        return len(self.result)
 
     @property
     def total_seconds(self) -> float:
@@ -69,7 +90,7 @@ class QueryResponse:
 class _ExecutionOutcome:
     """Backend-side result shared by all coalesced requesters."""
 
-    rows: list[dict]
+    result: ResultSet | list[dict]
     payload_bytes: int
     server_seconds: float
     encode_seconds: float
@@ -191,7 +212,7 @@ class MiddlewareServer:
                 if client_hit is not None:
                     return QueryResponse(
                         sql=sql,
-                        rows=client_hit.rows,
+                        result=client_hit.result,
                         payload_bytes=client_hit.payload_bytes,
                         server_seconds=0.0,
                         network_seconds=0.0,
@@ -201,22 +222,21 @@ class MiddlewareServer:
             server_hit = self.server_cache.get(key)
             if server_hit is not None:
                 return self._respond_from_server_cache(
-                    sql, key, server_hit.rows, server_hit.payload_bytes,
-                    client_cache, network,
+                    sql, key, server_hit.result, client_cache, network,
                 )
 
         outcome, coalesced = self._execute_backend(key, sql)
         if outcome.source == "server-cache":
             return self._respond_from_server_cache(
-                sql, key, outcome.rows, outcome.payload_bytes,
-                client_cache, network, coalesced=coalesced,
+                sql, key, outcome.result, client_cache, network,
+                coalesced=coalesced,
             )
         if self.enable_cache and client_cache is not None:
-            client_cache.put(key, outcome.rows, outcome.payload_bytes)
+            client_cache.put(key, outcome.result, self._result_bytes(outcome.result))
         transfer = network.transfer(outcome.payload_bytes)
         return QueryResponse(
             sql=sql,
-            rows=outcome.rows,
+            result=outcome.result,
             payload_bytes=outcome.payload_bytes,
             server_seconds=outcome.server_seconds,
             network_seconds=transfer.seconds,
@@ -226,25 +246,41 @@ class MiddlewareServer:
         )
 
     # ------------------------------------------------------------------ #
+    def _estimate(self, result: ResultSet | list[dict]) -> PayloadEstimate:
+        """Codec cost model of a result in either representation."""
+        if isinstance(result, ResultSet):
+            return self.codec.estimate_result(result)
+        return self.codec.estimate(result)
+
+    def _result_bytes(self, result: ResultSet | list[dict]) -> int:
+        """Exact bytes to charge a cache for storing ``result``."""
+        if isinstance(result, ResultSet):
+            return result.nbytes
+        return self.codec.estimate(result).payload_bytes
+
     def _respond_from_server_cache(
         self,
         sql: str,
         key: str,
-        rows: list[dict],
-        payload_bytes: int,
+        result: ResultSet | list[dict],
         client_cache: QueryCache | None,
         network: NetworkModel,
         coalesced: bool = False,
     ) -> QueryResponse:
-        """A middleware-cache hit: one round trip, decode on the client."""
-        transfer = network.transfer(payload_bytes)
-        estimate = self.codec.estimate(rows)
+        """A middleware-cache hit: one round trip, decode on the client.
+
+        The transfer/decode cost is modelled from the codec (what the
+        wire would carry), while the client-cache insertion charges the
+        exact resident bytes — the two sizes serve different budgets.
+        """
+        estimate = self._estimate(result)
+        transfer = network.transfer(estimate.payload_bytes)
         if client_cache is not None:
-            client_cache.put(key, rows, payload_bytes)
+            client_cache.put(key, result, self._result_bytes(result))
         return QueryResponse(
             sql=sql,
-            rows=rows,
-            payload_bytes=payload_bytes,
+            result=result,
+            payload_bytes=estimate.payload_bytes,
             server_seconds=0.0,
             network_seconds=transfer.seconds,
             serialization_seconds=estimate.decode_seconds,
@@ -278,7 +314,7 @@ class MiddlewareServer:
             published = self.server_cache.peek(key)
             if published is not None:
                 return _ExecutionOutcome(
-                    rows=published.rows,
+                    result=published.result,
                     payload_bytes=published.payload_bytes,
                     server_seconds=0.0,
                     encode_seconds=0.0,
@@ -288,12 +324,14 @@ class MiddlewareServer:
         result = self.database.execute(sql)
         with self._stats_lock:
             self.queries_executed += 1
-        rows = result.to_rows()
-        estimate = self.codec.estimate(rows)
+        rset = result.result_set()
+        estimate = self.codec.estimate_result(rset)
         if self.enable_cache:
-            self.server_cache.put(key, rows, estimate.payload_bytes)
+            # Exact resident bytes, not the codec's wire estimate: the
+            # byte budget must charge what eviction later frees.
+            self.server_cache.put(key, rset, rset.nbytes)
         return _ExecutionOutcome(
-            rows=rows,
+            result=rset,
             payload_bytes=estimate.payload_bytes,
             server_seconds=result.elapsed_seconds,
             encode_seconds=estimate.encode_seconds,

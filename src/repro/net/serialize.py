@@ -3,18 +3,31 @@
 VegaPlus reduces network transfer cost by encoding query results with the
 binary Apache Arrow format instead of JSON (Section 4).  We model the two
 codecs' payload sizes (and the CPU cost of encoding/decoding) without
-materialising giant byte strings: sizes are estimated from a row sample,
+materialising giant byte strings: sizes are estimated from a row sample
+(or computed exactly from a columnar :class:`~repro.storage.resultset.ResultSet`),
 which keeps benchmarks fast while preserving the relative JSON/Arrow gap.
 
 This module also carries the **real** wire format of the sharded serving
 tier (:mod:`repro.server.shard`): length-prefixed frames over a stream
-socket/pipe.  A frame is a 4-byte big-endian payload length followed by
-the pickled message — the gateway and its worker processes are two halves
-of one program, so pickle (protocol 5, buffer-friendly) is the honest
-codec and the length prefix makes message boundaries explicit on a byte
-stream.  :func:`encode_frame` / :func:`decode_frame_payload` are shared
-by the asyncio side (``StreamReader.readexactly``) and the blocking
-worker side (:func:`send_frame` / :func:`recv_frame`).
+socket/pipe.  A frame is::
+
+    header (12 bytes):  >IQ  = (pickle payload length, buffer section length)
+    payload:            pickle protocol 5 of the message
+    buffer section:     u32 buffer count, count x u64 buffer lengths,
+                        then the raw buffers back to back
+
+The buffer section carries pickle protocol-5 **out-of-band buffers**
+(``pickle.dumps(..., buffer_callback=...)`` on the way out,
+``pickle.loads(..., buffers=...)`` on the way in): a columnar result's
+float64 column arrays travel as raw bytes, never re-encoded cell by
+cell.  Messages without out-of-band buffers have an empty buffer
+section, which keeps control traffic (pings, stats) compact.  The
+gateway and its worker processes are two halves of one program, so
+pickle is the honest codec and the explicit lengths make message
+boundaries — and torn streams — detectable on a byte stream.
+:func:`encode_frame` / :func:`decode_frame_sections` are shared by the
+asyncio side (``StreamReader.readexactly``) and the blocking worker
+side (:func:`send_frame` / :func:`recv_frame`).
 """
 
 from __future__ import annotations
@@ -26,6 +39,8 @@ import struct
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.storage.resultset import ResultSet
+
 #: Number of rows sampled when estimating per-row payload size.
 _SAMPLE_ROWS = 50
 
@@ -33,14 +48,27 @@ _SAMPLE_ROWS = 50
 # Length-prefixed wire frames (sharded serving tier)
 # --------------------------------------------------------------------------- #
 
-#: Bytes of the frame header: one unsigned big-endian 32-bit length.
-FRAME_HEADER_BYTES = 4
+#: Bytes of the frame header: payload length (u32) + buffer section
+#: length (u64), both big-endian.
+FRAME_HEADER_BYTES = 12
 
-_FRAME_HEADER = struct.Struct(">I")
+_FRAME_HEADER = struct.Struct(">IQ")
 
-#: Upper bound on a single frame's payload (256 MiB).  A length prefix
-#: beyond this is treated as stream corruption, not an allocation request.
+#: Count prefix of the buffer section (number of out-of-band buffers).
+_BUFFER_COUNT = struct.Struct(">I")
+
+#: Per-buffer length entry inside the buffer section.
+_BUFFER_LENGTH = struct.Struct(">Q")
+
+#: Upper bound on a single frame's pickle payload (256 MiB).  A length
+#: prefix beyond this is treated as stream corruption, not an
+#: allocation request.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Upper bound on a frame's out-of-band buffer section (4 GiB).  Column
+#: buffers are large by design, but a length past this guard means a
+#: corrupt or malicious header, never a legitimate result.
+MAX_BUFFER_SECTION_BYTES = 4 * 1024 * 1024 * 1024
 
 
 class WireProtocolError(RuntimeError):
@@ -48,37 +76,124 @@ class WireProtocolError(RuntimeError):
 
 
 def encode_frame(message: object) -> bytes:
-    """One wire frame: 4-byte big-endian length + pickled ``message``."""
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    """One wire frame: header + protocol-5 pickle + out-of-band buffers.
+
+    Numeric column arrays inside ``message`` (e.g. a
+    :class:`~repro.storage.resultset.ResultSet`) are exported through
+    ``buffer_callback`` as raw buffers in the frame's buffer section —
+    the pickle payload holds only their metadata.  Object/string columns
+    pickle in-band automatically.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    payload = pickle.dumps(message, protocol=5, buffer_callback=buffers.append)
     if len(payload) > MAX_FRAME_BYTES:
         raise WireProtocolError(
             f"frame payload of {len(payload)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte frame limit"
         )
-    return _FRAME_HEADER.pack(len(payload)) + payload
+    raw_views = [buffer.raw() for buffer in buffers]
+    section_length = 0
+    if raw_views:
+        section_length = _BUFFER_COUNT.size + len(raw_views) * _BUFFER_LENGTH.size
+        section_length += sum(view.nbytes for view in raw_views)
+        if section_length > MAX_BUFFER_SECTION_BYTES:
+            raise WireProtocolError(
+                f"frame buffer section of {section_length} bytes exceeds the "
+                f"{MAX_BUFFER_SECTION_BYTES}-byte limit"
+            )
+    chunks: list[bytes] = [_FRAME_HEADER.pack(len(payload), section_length), payload]
+    if raw_views:
+        chunks.append(_BUFFER_COUNT.pack(len(raw_views)))
+        chunks.extend(_BUFFER_LENGTH.pack(view.nbytes) for view in raw_views)
+        chunks.extend(view for view in raw_views)  # type: ignore[arg-type]
+    return b"".join(chunks)
 
 
-def frame_payload_length(header: bytes) -> int:
-    """Payload length encoded in a frame header (validated)."""
+def frame_section_lengths(header: bytes) -> tuple[int, int]:
+    """``(payload length, buffer section length)`` of a frame header.
+
+    Validates the header size and both length fields; anything out of
+    range is stream corruption and raises :class:`WireProtocolError`.
+    """
     if len(header) != FRAME_HEADER_BYTES:
         raise WireProtocolError(
             f"expected a {FRAME_HEADER_BYTES}-byte frame header, got {len(header)}"
         )
-    (length,) = _FRAME_HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
+    payload_length, section_length = _FRAME_HEADER.unpack(header)
+    if payload_length > MAX_FRAME_BYTES:
         raise WireProtocolError(
-            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit "
-            "(corrupt stream?)"
+            f"frame length {payload_length} exceeds the {MAX_FRAME_BYTES}-byte "
+            "limit (corrupt stream?)"
         )
-    return length
+    if section_length > MAX_BUFFER_SECTION_BYTES:
+        raise WireProtocolError(
+            f"frame buffer section length {section_length} exceeds the "
+            f"{MAX_BUFFER_SECTION_BYTES}-byte limit (corrupt stream?)"
+        )
+    return int(payload_length), int(section_length)
 
 
-def decode_frame_payload(payload: bytes) -> object:
-    """The message carried by one frame's payload bytes."""
+def _split_buffer_section(section: bytes | memoryview) -> list[memoryview]:
+    """The out-of-band buffers encoded in a frame's buffer section.
+
+    Returns zero-copy memoryview slices.  An internally inconsistent
+    section (count/lengths disagreeing with the section size) raises
+    :class:`WireProtocolError`.
+    """
+    if not len(section):
+        return []
+    view = memoryview(section)
+    if len(view) < _BUFFER_COUNT.size:
+        raise WireProtocolError(
+            f"truncated buffer section: {len(view)} bytes, "
+            f"expected at least {_BUFFER_COUNT.size}"
+        )
+    (count,) = _BUFFER_COUNT.unpack_from(view, 0)
+    offset = _BUFFER_COUNT.size
+    index_end = offset + count * _BUFFER_LENGTH.size
+    if index_end > len(view):
+        raise WireProtocolError(
+            f"buffer section declares {count} buffers but is only "
+            f"{len(view)} bytes long"
+        )
+    lengths = [
+        _BUFFER_LENGTH.unpack_from(view, offset + i * _BUFFER_LENGTH.size)[0]
+        for i in range(count)
+    ]
+    buffers: list[memoryview] = []
+    cursor = index_end
+    for length in lengths:
+        end = cursor + length
+        if end > len(view):
+            raise WireProtocolError(
+                f"buffer section overruns its frame: buffer of {length} bytes "
+                f"at offset {cursor} in a {len(view)}-byte section"
+            )
+        buffers.append(view[cursor:end])
+        cursor = end
+    if cursor != len(view):
+        raise WireProtocolError(
+            f"buffer section has {len(view) - cursor} trailing bytes"
+        )
+    return buffers
+
+
+def decode_frame_sections(
+    payload: bytes | memoryview, buffer_section: bytes | memoryview = b""
+) -> object:
+    """The message carried by one frame's payload + buffer section."""
+    buffers = _split_buffer_section(buffer_section)
     try:
-        return pickle.loads(payload)
+        return pickle.loads(payload, buffers=buffers)
+    except WireProtocolError:
+        raise
     except Exception as exc:  # pickle raises a zoo of error types
         raise WireProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+def decode_frame_payload(payload: bytes | memoryview) -> object:
+    """The message of a buffer-free frame payload (control traffic)."""
+    return decode_frame_sections(payload)
 
 
 def send_frame(sock: socket.socket, message: object) -> None:
@@ -97,7 +212,7 @@ def _recv_exactly(sock: socket.socket, n_bytes: int) -> bytes | None:
     while remaining > 0:
         chunk = sock.recv(remaining)
         if not chunk:
-            if remaining == n_bytes:
+            if remaining == n_bytes and not chunks:
                 return None
             raise WireProtocolError(
                 f"connection died mid-frame with {remaining} of {n_bytes} "
@@ -112,16 +227,23 @@ def recv_frame(sock: socket.socket) -> object:
     """Blocking receive of one frame (worker side of the shard protocol).
 
     Raises :class:`EOFError` when the peer closed the stream cleanly at a
-    frame boundary, :class:`WireProtocolError` on a torn or corrupt frame.
+    frame boundary, :class:`WireProtocolError` on a torn or corrupt frame
+    — including a connection that dies inside the buffer section, which
+    must surface as an error, never as a hang or a silent truncation.
     """
     header = _recv_exactly(sock, FRAME_HEADER_BYTES)
     if header is None:
         raise EOFError("connection closed")
-    length = frame_payload_length(header)
-    payload = _recv_exactly(sock, length) if length else b""
+    payload_length, section_length = frame_section_lengths(header)
+    payload = _recv_exactly(sock, payload_length) if payload_length else b""
     if payload is None:
         raise WireProtocolError("connection died between frame header and payload")
-    return decode_frame_payload(payload)
+    section = _recv_exactly(sock, section_length) if section_length else b""
+    if section is None:
+        raise WireProtocolError(
+            "connection died between frame payload and buffer section"
+        )
+    return decode_frame_sections(payload, section)
 
 
 @dataclass(frozen=True)
@@ -144,6 +266,21 @@ class Codec:
         """Estimate the payload produced by serialising ``rows``."""
         raise NotImplementedError
 
+    def estimate_result(self, result: ResultSet) -> PayloadEstimate:
+        """Estimate the payload of a columnar result without exploding it.
+
+        The base implementation samples the head rows (cheap: only the
+        sample is materialised); columnar codecs override with exact
+        O(columns) math.
+        """
+        return self._estimate_scaled(result.head_rows(_SAMPLE_ROWS), result.num_rows)
+
+    def _estimate_scaled(
+        self, sample: Sequence[dict], num_rows: int
+    ) -> PayloadEstimate:
+        """Estimate for ``num_rows`` rows shaped like ``sample``."""
+        raise NotImplementedError
+
 
 class JsonCodec(Codec):
     """Text JSON codec: large payloads, per-row encode/decode CPU cost.
@@ -160,15 +297,18 @@ class JsonCodec(Codec):
     decode_seconds_per_byte = 1.0 / 150e6
 
     def estimate(self, rows: Sequence[dict]) -> PayloadEstimate:
-        n = len(rows)
-        if n == 0:
+        return self._estimate_scaled(rows[:_SAMPLE_ROWS], len(rows))
+
+    def _estimate_scaled(
+        self, sample: Sequence[dict], num_rows: int
+    ) -> PayloadEstimate:
+        if num_rows == 0 or not sample:
             return PayloadEstimate(0, 2, 0.0, 0.0)
-        sample = rows[:_SAMPLE_ROWS]
         sample_bytes = len(json.dumps(list(sample), default=str))
         per_row = sample_bytes / len(sample)
-        payload = int(per_row * n) + 2
+        payload = int(per_row * num_rows) + 2
         return PayloadEstimate(
-            num_rows=n,
+            num_rows=num_rows,
             payload_bytes=payload,
             encode_seconds=payload * self.encode_seconds_per_byte,
             decode_seconds=payload * self.decode_seconds_per_byte,
@@ -192,10 +332,13 @@ class ArrowCodec(Codec):
     framing_bytes = 512
 
     def estimate(self, rows: Sequence[dict]) -> PayloadEstimate:
-        n = len(rows)
-        if n == 0:
+        return self._estimate_scaled(rows[:_SAMPLE_ROWS], len(rows))
+
+    def _estimate_scaled(
+        self, sample: Sequence[dict], num_rows: int
+    ) -> PayloadEstimate:
+        if num_rows == 0 or not sample:
             return PayloadEstimate(0, self.framing_bytes, 0.0, 0.0)
-        sample = rows[:_SAMPLE_ROWS]
         per_row = 0.0
         for row in sample:
             row_bytes = 0
@@ -206,9 +349,20 @@ class ArrowCodec(Codec):
                     row_bytes += len(str(value).encode("utf-8")) + 4
             per_row += row_bytes
         per_row /= len(sample)
-        payload = int(per_row * n) + self.framing_bytes
+        payload = int(per_row * num_rows) + self.framing_bytes
         return PayloadEstimate(
-            num_rows=n,
+            num_rows=num_rows,
+            payload_bytes=payload,
+            encode_seconds=payload * self.encode_seconds_per_byte,
+            decode_seconds=payload * self.decode_seconds_per_byte,
+        )
+
+    def estimate_result(self, result: ResultSet) -> PayloadEstimate:
+        """Exact O(columns) estimate: the codec is columnar, so the
+        result's own byte accounting *is* the Arrow payload size."""
+        payload = result.nbytes + self.framing_bytes
+        return PayloadEstimate(
+            num_rows=result.num_rows,
             payload_bytes=payload,
             encode_seconds=payload * self.encode_seconds_per_byte,
             decode_seconds=payload * self.decode_seconds_per_byte,

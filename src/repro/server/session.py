@@ -130,7 +130,7 @@ class ClientSession:
         self.requests += 1
         self.latencies.append(response.total_seconds)
         if self.feedback is not None:
-            self.feedback.record_query(sql, len(response.rows), response.total_seconds)
+            self.feedback.record_query(sql, response.num_rows, response.total_seconds)
         return response
 
     # ------------------------------------------------------------------ #

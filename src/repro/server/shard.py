@@ -57,12 +57,13 @@ from repro.net.middleware import MiddlewareServer
 from repro.net.serialize import (
     FRAME_HEADER_BYTES,
     WireProtocolError,
-    decode_frame_payload,
+    decode_frame_sections,
     encode_frame,
-    frame_payload_length,
+    frame_section_lengths,
     recv_frame,
     send_frame,
 )
+from repro.storage.resultset import ResultSet
 from repro.server.scheduler import RequestScheduler
 from repro.server.session import SessionManager
 
@@ -204,11 +205,14 @@ def _shard_worker_main(shard_index: int, spec: ShardSpec, conn: socket.socket) -
                 except KeyError:
                     session = manager.create_session(session_id)
                 response = session.execute(request["sql"])
+            # The columnar result crosses the wire as-is: its numeric
+            # column buffers ride the frame's out-of-band section, so the
+            # worker never materialises row dicts for transport.
             reply(
                 {
                     "request_id": request_id,
                     "ok": True,
-                    "rows": response.rows,
+                    "result": response.result,
                     "payload_bytes": response.payload_bytes,
                     "total_seconds": response.total_seconds,
                     "cache_level": response.cache_level,
@@ -351,15 +355,33 @@ class AdmissionController:
 # --------------------------------------------------------------------------- #
 @dataclass
 class ShardResponse:
-    """One served request, as seen at the gateway."""
+    """One served request, as seen at the gateway.
 
-    rows: list[dict]
+    :attr:`result` is the columnar batch exactly as the worker shipped
+    it; :attr:`rows` materialises the row-dict view on first access.
+    """
+
+    result: ResultSet | list[dict]
     payload_bytes: int
     #: Modelled end-to-end seconds inside the worker's middleware.
     total_seconds: float
     cache_level: str | None
     coalesced: bool
     shard: int
+
+    @property
+    def rows(self) -> list[dict]:
+        """The canonical row-dict view (materialised on first access)."""
+        if isinstance(self.result, ResultSet):
+            return self.result.rows()
+        return self.result
+
+    @property
+    def num_rows(self) -> int:
+        """Result cardinality without materialising any rows."""
+        if isinstance(self.result, ResultSet):
+            return self.result.num_rows
+        return len(self.result)
 
 
 @dataclass
@@ -461,8 +483,14 @@ class AsyncGateway:
         try:
             while True:
                 header = await handle.reader.readexactly(FRAME_HEADER_BYTES)
-                payload = await handle.reader.readexactly(frame_payload_length(header))
-                message = decode_frame_payload(payload)
+                payload_length, section_length = frame_section_lengths(header)
+                payload = await handle.reader.readexactly(payload_length)
+                section = (
+                    await handle.reader.readexactly(section_length)
+                    if section_length
+                    else b""
+                )
+                message = decode_frame_sections(payload, section)
                 future = handle.pending.pop(message.get("request_id"), None)
                 if future is not None and not future.done():
                     future.set_result(message)
@@ -542,7 +570,7 @@ class AsyncGateway:
         finally:
             self.admission.release(ok=ok)
         return ShardResponse(
-            rows=reply["rows"],
+            result=reply["result"],
             payload_bytes=reply["payload_bytes"],
             total_seconds=reply["total_seconds"],
             cache_level=reply["cache_level"],

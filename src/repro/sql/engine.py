@@ -34,6 +34,7 @@ from repro.sql.template import (
     template_shape,
 )
 from repro.storage.catalog import Catalog
+from repro.storage.resultset import ResultSet
 from repro.storage.shared import shared_memory_available
 from repro.storage.statistics import TableStatistics
 from repro.storage.table import PartitionedTable, Table
@@ -61,6 +62,19 @@ class QueryResult:
     def to_rows(self) -> list[dict[str, object]]:
         """Result as a list of row dictionaries."""
         return self.table.to_rows()
+
+    def result_set(self) -> ResultSet:
+        """The result as a zero-copy columnar :class:`ResultSet` (cached).
+
+        Shares the result table's numpy arrays — no rows are
+        materialised.  This is what the serving path transports; row
+        dicts only exist once a final consumer calls ``rows()`` on it.
+        """
+        rset = getattr(self, "_result_set", None)
+        if rset is None:
+            rset = ResultSet.from_table(self.table)
+            self._result_set = rset
+        return rset
 
     def to_columns(self) -> dict[str, list[object]]:
         """Result as a mapping column -> values."""

@@ -625,7 +625,7 @@ class Executor:
         n_groups = len(starts)
         if isinstance(expr, FunctionCall) and expr.name.upper() in AGGREGATE_KERNELS:
             if expr.is_star:
-                return [float(end - start) for start, end in zip(starts, ends)]
+                return np.asarray(ends - starts, dtype=np.float64).tolist()
             if not expr.args:
                 raise ExecutionError(f"aggregate {expr.name} requires an argument")
             values = evaluator.evaluate(expr.args[0])
@@ -642,19 +642,21 @@ class Executor:
         if isinstance(expr, Literal):
             return [expr.value] * n_groups
         # Non-aggregate expression inside a group: all rows of a group share
-        # the value, so evaluate once and take each group's first row.
+        # the value, so evaluate once and fancy-index each group's first
+        # row (``order[starts]``) in one take — no per-group Python loop.
         values = evaluator.evaluate(expr)
-        out: list[object] = []
-        for start, end in zip(starts, ends):
-            if start == end:
-                out.append(None)
-                continue
-            value = values[order[start]]
-            if is_string_array(values):
-                out.append(value)
-            else:
-                out.append(None if np.isnan(value) else float(value))
-        return out
+        empty = starts == ends  # possible only for a global aggregate over 0 rows
+        firsts = np.where(empty, 0, order[np.minimum(starts, len(order) - 1)] if len(order) else 0)
+        if is_string_array(values):
+            taken = values[firsts] if len(values) else np.full(n_groups, None, dtype=object)
+            return [None if flag else value for flag, value in zip(empty, taken)]
+        taken = (
+            values[firsts].astype(np.float64)
+            if len(values)
+            else np.full(n_groups, np.nan)
+        )
+        nulls = empty | np.isnan(taken)
+        return [None if flag else float(value) for flag, value in zip(nulls, taken)]
 
     def _execute_window(self, node: WindowNode, stats: ExecutionStats) -> Table:
         table = self._execute_node(node.child, stats)

@@ -94,6 +94,32 @@ def load_table(connection, name: str, table: Table, replace: bool = False) -> No
     connection.commit()
 
 
+def _column_from_slice(column_name: str, values: np.ndarray) -> Column:
+    """One typed :class:`Column` from an object-array column slice.
+
+    Mirrors :meth:`Column.from_values` semantics (NULL = ``None``/NaN,
+    numeric iff every non-null value is an int/float/bool, all-NULL
+    columns default numeric) but replaces its per-value Python loop with
+    array passes: one C-level null mask, one ``set(map(type, ...))``
+    scan for type inference, one ``np.where`` + ``astype`` conversion.
+    """
+    # ``== None`` catches None, ``!= itself`` catches stray NaN — both
+    # run as C element loops over the object array.
+    null_mask = (values == None) | (values != values)  # noqa: E711
+    non_null = values[~null_mask]
+    types = set(map(type, non_null.tolist()))
+    if types and not types <= {bool, int, float}:
+        if null_mask.any():
+            values = values.copy()
+            values[null_mask] = None
+        return Column(column_name, values, ColumnType.STRING)
+    if not types:  # all-NULL columns infer numeric, as from_values does
+        data = np.full(len(values), np.nan, dtype=np.float64)
+    else:
+        data = np.where(null_mask, np.nan, values).astype(np.float64)
+    return Column(column_name, data, ColumnType.NUMERIC)
+
+
 def table_from_cursor(
     description: Sequence[Sequence[object]] | None,
     rows: Iterable[Sequence[object]],
@@ -101,20 +127,23 @@ def table_from_cursor(
 ) -> Table:
     """Rebuild a :class:`Table` from a cursor's description and row tuples.
 
-    Transposes the fetched rows into per-column value lists and lets
-    :meth:`Column.from_values` re-infer each column's storage type, so
-    SQLite results normalise exactly like embedded-engine results.
+    The fetched batch becomes one 2-D object array whose column slices
+    are typed directly (:func:`_column_from_slice`) — the per-row,
+    per-value ``zip``/``from_values`` loops this replaces dominated the
+    sqlite read path on wide results.  Results normalise exactly like
+    embedded-engine results (NULL as ``None``, numeric as float64).
     """
     if description is None:
         return Table([], name=name)
     names = [entry[0] for entry in description]
-    materialized = list(rows)
+    materialized = rows if isinstance(rows, list) else list(rows)
     if not materialized:
         columns = [Column.from_values(column_name, []) for column_name in names]
         return Table(columns, name=name)
-    transposed = zip(*materialized)
+    grid = np.empty((len(materialized), len(names)), dtype=object)
+    grid[:] = materialized
     columns = [
-        Column.from_values(column_name, list(values))
-        for column_name, values in zip(names, transposed)
+        _column_from_slice(column_name, np.ascontiguousarray(grid[:, index]))
+        for index, column_name in enumerate(names)
     ]
     return Table(columns, name=name)

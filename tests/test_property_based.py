@@ -278,7 +278,7 @@ def test_cache_never_exceeds_capacity_and_counts_consistently(queries, capacity)
     cache = QueryCache(max_entries=capacity)
     for query in queries:
         if cache.get(query) is None:
-            cache.put(query, rows=[], payload_bytes=10)
+            cache.put(query, result=[], payload_bytes=10)
         assert len(cache) <= capacity
     stats = cache.stats
     assert stats.hits + stats.misses == len(queries)

@@ -180,6 +180,47 @@ def test_schema_migration_adds_throughput_column(tmp_path):
             assert result.throughput_rps is None
 
 
+def test_schema_migration_adds_transport_speedup_column(tmp_path):
+    """Opening a pre-PR-10 DB (no transport_speedup column) upgrades it."""
+    import sqlite3
+
+    path = tmp_path / "pr9.db"
+    with ResultsDB(path) as db:
+        db.ingest(_raw_document(), source="synthetic")
+    with sqlite3.connect(path) as raw:
+        raw.execute("ALTER TABLE task_results DROP COLUMN transport_speedup")
+    with ResultsDB(path) as db:
+        columns = {
+            row[1]
+            for row in db._connection.execute("PRAGMA table_info(task_results)")
+        }
+        assert "transport_speedup" in columns
+        run_id = db.runs()[0].run_id
+        for result in db.results_for_run(run_id):
+            assert result.transport_speedup is None
+
+
+def test_transport_speedup_roundtrips_and_feeds_trend():
+    document = _raw_document()
+    document["benchmarks"].append(
+        {
+            "name": "test_columnar_vs_rows_transport",
+            "stats": {"median": 0.2, "min": 0.19, "mean": 0.2, "rounds": 3},
+            "extra_info": {"backend": "embedded", "transport_speedup": 4.27},
+        }
+    )
+    with ResultsDB() as db:
+        run_id = db.ingest(document, source="synthetic")
+        results = {r.experiment: r for r in db.results_for_run(run_id)}
+        cell = results["test_columnar_vs_rows_transport[embedded]"]
+        assert cell.transport_speedup == 4.27
+        assert "transport_speedup" in METRIC_COLUMNS
+        points = db.trend(
+            "test_columnar_vs_rows_transport[embedded]", metric="transport_speedup"
+        )
+        assert [p.value for p in points] == [4.27]
+
+
 def test_is_raw_document_distinguishes_formats():
     assert is_raw_document(_raw_document())
     assert not is_raw_document({"schema": "bench-summary/v1", "experiments": {}})

@@ -21,10 +21,12 @@ from repro.bench.load import (
 )
 from repro.errors import BenchmarkError, OverloadError, ServingError, ShardError
 from repro.net.serialize import (
+    FRAME_HEADER_BYTES,
+    MAX_BUFFER_SECTION_BYTES,
     MAX_FRAME_BYTES,
     WireProtocolError,
     encode_frame,
-    frame_payload_length,
+    frame_section_lengths,
     recv_frame,
     send_frame,
 )
@@ -87,20 +89,28 @@ def test_wire_clean_close_raises_eof_torn_frame_raises_protocol_error():
 
 
 def test_wire_header_validation():
-    payload_length = frame_payload_length(encode_frame("x")[:4])
-    assert payload_length == len(pickle.dumps("x", protocol=pickle.HIGHEST_PROTOCOL))
+    header = encode_frame("x")[:FRAME_HEADER_BYTES]
+    payload_length, section_length = frame_section_lengths(header)
+    assert payload_length == len(pickle.dumps("x", protocol=5))
+    assert section_length == 0  # a plain string carries no out-of-band buffers
     with pytest.raises(WireProtocolError):
-        frame_payload_length(b"\x00\x00")  # short header
-    oversized = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        frame_section_lengths(b"\x00\x00")  # short header
+    oversized_payload = (MAX_FRAME_BYTES + 1).to_bytes(4, "big") + (0).to_bytes(8, "big")
     with pytest.raises(WireProtocolError):
-        frame_payload_length(oversized)
+        frame_section_lengths(oversized_payload)
+    oversized_section = (1).to_bytes(4, "big") + (
+        MAX_BUFFER_SECTION_BYTES + 1
+    ).to_bytes(8, "big")
+    with pytest.raises(WireProtocolError):
+        frame_section_lengths(oversized_section)
 
 
 def test_wire_undecodable_payload_is_protocol_error():
     left, right = socket.socketpair()
     try:
         garbage = b"\x93NOTPICKLE"
-        left.sendall(len(garbage).to_bytes(4, "big") + garbage)
+        header = len(garbage).to_bytes(4, "big") + (0).to_bytes(8, "big")
+        left.sendall(header + garbage)
         with pytest.raises(WireProtocolError):
             recv_frame(right)
     finally:

@@ -319,3 +319,44 @@ def test_explain_estimates_cardinality(flights_db):
     estimate = flights_db.explain("SELECT carrier, COUNT(*) FROM flights GROUP BY carrier")
     assert estimate.total_cost > 0
     assert 0 < estimate.estimated_rows <= 500
+
+
+def test_group_scalar_tail_vectorized_matches_naive_reference():
+    """Pin the fancy-indexed per-group scalar tail against naive Python.
+
+    A non-aggregate scalar expression inside GROUP BY takes each group's
+    first row via one ``order[starts]`` take; this must agree with a
+    per-group loop for many groups, NULL keys, string keys, and the
+    empty-input global-aggregate case (empty segment -> NULL).
+    """
+    import random
+
+    rng = random.Random(7)
+    rows = [
+        {
+            "g": rng.choice([None, *(f"k{i}" for i in range(50))]),
+            "v": rng.choice([None, -1.5, 0.0, 2.0, 7.25]),
+        }
+        for _ in range(400)
+    ]
+    database = Database()
+    database.register_rows("t", rows, column_order=["g", "v"])
+    result = database.query_rows(
+        "SELECT g, g AS key_again, v + 0 AS shifted, COUNT(*) AS n "
+        "FROM t GROUP BY g, v + 0 ORDER BY g, shifted"
+    )
+    naive: dict[tuple, int] = {}
+    for row in rows:
+        naive[(row["g"], row["v"])] = naive.get((row["g"], row["v"]), 0) + 1
+    assert len(result) == len(naive)
+    for out in result:
+        assert out["key_again"] == out["g"]
+        assert out["n"] == naive[(out["g"], out["shifted"])]
+
+    # Empty input: zero groups must come out as zero rows, and the
+    # no-GROUP-BY global aggregate yields its one NULL-filled segment.
+    database.register_columns("e", {"g": [], "v": []})
+    assert database.query_rows("SELECT g, v + 0 AS s FROM e GROUP BY g, v + 0") == []
+    assert database.query_rows("SELECT MAX(v) AS m, COUNT(*) AS n FROM e") == [
+        {"m": None, "n": 0}
+    ]
